@@ -1,0 +1,119 @@
+// Ablation: 2/3-rule dealiasing in the pseudo-spectral NS solver.
+//
+// Without dealiasing, the quadratic advection term aliases energy back into
+// resolved modes; at marginal resolution this pollutes (and can destabilise)
+// the enstrophy budget. With the 2/3 rule the solution tracks a
+// high-resolution reference. We quantify both: enstrophy drift and the
+// relative L2 error of the coarse runs against a 2× refined dealiased run.
+#include <cstdio>
+#include <iostream>
+
+#include "lbm/initializer.hpp"
+#include "ns/solver.hpp"
+#include "ns/spectral_ops.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace turb;
+
+TensorD restrict_field(const TensorD& fine, index_t coarse_n) {
+  // Spectral restriction: sample every other point is enough for a smooth
+  // comparison field; use simple subsampling (fields are well resolved on
+  // the fine grid).
+  const index_t ratio = fine.dim(0) / coarse_n;
+  TensorD out({coarse_n, coarse_n});
+  for (index_t iy = 0; iy < coarse_n; ++iy) {
+    for (index_t ix = 0; ix < coarse_n; ++ix) {
+      out(iy, ix) = fine(iy * ratio, ix * ratio);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("==== Ablation: spectral dealiasing on/off ====\n");
+  const index_t n = 32;
+  const double viscosity = 2e-4;
+  const double dt = 5e-4;
+  const index_t steps = 1200;
+
+  Rng rng(31);
+  const auto field = lbm::random_vortex_velocity(n, n, 6.0, 1.0, rng);
+  const TensorD w0 = ns::vorticity_from_velocity(field.u1, field.u2);
+
+  // High-resolution dealiased reference on 2n.
+  ns::NsConfig fine_cfg;
+  fine_cfg.n = 2 * n;
+  fine_cfg.viscosity = viscosity;
+  fine_cfg.dt = dt;
+  ns::SpectralNsSolver fine(fine_cfg);
+  // Spectrally exact zero-padded upsampling: the fine run starts from the
+  // SAME physical field, so err columns are true trajectory errors.
+  fine.set_vorticity(ns::spectral_upsample(w0, 2));
+
+  ns::NsConfig on_cfg;
+  on_cfg.n = n;
+  on_cfg.viscosity = viscosity;
+  on_cfg.dt = dt;
+  on_cfg.dealias = true;
+  ns::NsConfig off_cfg = on_cfg;
+  off_cfg.dealias = false;
+  ns::SpectralNsSolver dealiased(on_cfg), aliased(off_cfg);
+  dealiased.set_vorticity(w0);
+  aliased.set_vorticity(w0);
+
+  SeriesTable table("ablation_dealiasing");
+  table.set_columns({"t", "enstrophy_dealiased", "enstrophy_aliased",
+                     "err_vs_fine_dealiased", "err_vs_fine_aliased",
+                     "aliased_blown_up"});
+  const index_t blocks = 12;
+  bool aliased_blew_up = false;
+  double blowup_time = -1.0;
+  for (index_t blk = 1; blk <= blocks; ++blk) {
+    const index_t block_steps = steps / blocks;
+    dealiased.step(block_steps);
+    aliased.step(block_steps);
+    fine.step(block_steps);
+    const TensorD wd = dealiased.vorticity();
+    const TensorD wa = aliased.vorticity();
+    const TensorD wf = restrict_field(fine.vorticity(), n);
+    const auto enst = [](const TensorD& w) {
+      return w.squared_norm() / static_cast<double>(w.size());
+    };
+    const auto err = [&](const TensorD& w) {
+      double num = 0.0;
+      for (index_t i = 0; i < w.size(); ++i) {
+        const double d = w[i] - wf[i];
+        num += d * d;
+      }
+      return std::sqrt(num / wf.squared_norm());
+    };
+    // max_abs() silently skips NaNs (max comparisons are false), so probe
+    // the enstrophy, which propagates any non-finite value.
+    const double enst_a = enst(wa);
+    const bool finite = std::isfinite(enst_a) && enst_a < 1e9;
+    if (!finite && !aliased_blew_up) {
+      aliased_blew_up = true;
+      blowup_time = aliased.time();
+    }
+    // Sentinel -1 once the aliased run has blown up.
+    table.add_row({dealiased.time(), enst(wd), finite ? enst_a : -1.0,
+                   err(wd), finite ? err(wa) : -1.0,
+                   aliased_blew_up ? 1.0 : 0.0});
+  }
+  table.print_csv(std::cout);
+  if (aliased_blew_up) {
+    std::printf("# aliased run BLEW UP at t = %.3f; dealiased run stayed "
+                "finite to t = %.3f\n",
+                blowup_time, dealiased.time());
+  }
+  std::printf("# expectation: without the 2/3 rule the quadratic term "
+              "aliases energy into resolved modes — the run drifts and (at "
+              "this marginal resolution) blows up; the dealiased run tracks "
+              "the 2x-fine reference\n");
+  return 0;
+}

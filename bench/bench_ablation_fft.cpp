@@ -1,0 +1,77 @@
+// Ablation: FFT substrate performance (google-benchmark).
+//
+// Covers the transform shapes the library exercises: 1-D complex power-of-
+// two (radix-2) vs non-power-of-two (Bluestein), batched 2-D real
+// transforms at FNO grid sizes, and the 3-D transform with the length-10
+// temporal axis.
+#include <benchmark/benchmark.h>
+
+#include "fft/fftnd.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace turb;
+
+void BM_FftC2C(benchmark::State& state) {
+  const auto n = static_cast<index_t>(state.range(0));
+  const fft::PlanC2C<double>& plan = fft::plan<double>(n);
+  Rng rng(1);
+  std::vector<std::complex<double>> x(static_cast<std::size_t>(n));
+  for (auto& v : x) v = {rng.normal(), rng.normal()};
+  for (auto _ : state) {
+    plan.forward(x.data());
+    benchmark::DoNotOptimize(x.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_FftC2C)->Arg(64)->Arg(256)->Arg(1024)->Arg(10)->Arg(100)->Arg(1000);
+
+void BM_Rfft2Batched(benchmark::State& state) {
+  const auto n = static_cast<index_t>(state.range(0));
+  const auto channels = static_cast<index_t>(state.range(1));
+  Rng rng(2);
+  TensorF x({1, channels, n, n});
+  x.fill_normal(rng, 0.0, 1.0);
+  for (auto _ : state) {
+    auto spec = fft::rfftn(x, 2);
+    benchmark::DoNotOptimize(spec.data());
+  }
+  state.SetItemsProcessed(state.iterations() * channels * n * n);
+}
+BENCHMARK(BM_Rfft2Batched)
+    ->Args({32, 8})
+    ->Args({64, 8})
+    ->Args({128, 8})
+    ->Args({64, 40});
+
+void BM_Rfft3TemporalAxis(benchmark::State& state) {
+  const auto n = static_cast<index_t>(state.range(0));
+  Rng rng(3);
+  TensorF x({1, 4, 10, n, n});  // length-10 Bluestein axis
+  x.fill_normal(rng, 0.0, 1.0);
+  for (auto _ : state) {
+    auto spec = fft::rfftn(x, 3);
+    benchmark::DoNotOptimize(spec.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 4 * 10 * n * n);
+}
+BENCHMARK(BM_Rfft3TemporalAxis)->Arg(32)->Arg(64);
+
+void BM_IrfftnRoundTrip(benchmark::State& state) {
+  const auto n = static_cast<index_t>(state.range(0));
+  Rng rng(4);
+  TensorF x({1, 8, n, n});
+  x.fill_normal(rng, 0.0, 1.0);
+  for (auto _ : state) {
+    auto spec = fft::rfftn(x, 2);
+    auto back = fft::irfftn(spec, 2, n);
+    benchmark::DoNotOptimize(back.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 8 * n * n);
+}
+BENCHMARK(BM_IrfftnRoundTrip)->Arg(32)->Arg(64);
+
+}  // namespace
+
+BENCHMARK_MAIN();

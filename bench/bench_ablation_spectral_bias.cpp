@@ -1,0 +1,73 @@
+// Ablation: spectral bias of the FNO surrogate.
+//
+// The paper's introduction attributes the long-horizon instability of
+// ML emulators to *spectral bias* — the small scales are not learned, only
+// the large-scale dynamics (Chattopadhyay & Hassanzadeh 2023, ref. [4]).
+// This bench makes that mechanism visible: it trains the hybrid surrogate,
+// rolls it out, and compares the isotropic energy spectrum E(k) of the
+// prediction against the PDE reference at matching times.
+//
+// Expected: the FNO tracks the energy-containing low-k shells but
+// under-represents the high-k tail, and the deficit grows along the rollout
+// — exactly the error pattern the hybrid's PDE windows repair.
+#include <iostream>
+
+#include "common.hpp"
+
+int main() {
+  using namespace turb;
+  bench::print_header("Ablation: spectral bias of the surrogate rollout");
+  bench::HybridSetup setup = bench::train_hybrid_setup();
+
+  const core::History seed = bench::heldout_seed(10);
+  core::FnoPropagator fno_prop(*setup.model, setup.norm, setup.dt_snap);
+  core::PdePropagator pde_prop(bench::make_reference_solver(setup),
+                               setup.dt_snap);
+  const index_t horizon = 20;
+  const auto fno_run = core::run_single(fno_prop, seed, horizon);
+  const auto pde_run = core::run_single(pde_prop, seed, horizon);
+
+  SeriesTable table("ablation_spectral_bias");
+  table.set_columns({"snapshot", "k_shell", "E_pde", "E_fno", "ratio"});
+  for (const index_t s : {index_t{1}, index_t{5}, index_t{10}, index_t{20}}) {
+    const auto& pde_snap = pde_run.trajectory[static_cast<std::size_t>(s - 1)];
+    const auto& fno_snap = fno_run.trajectory[static_cast<std::size_t>(s - 1)];
+    const auto e_pde = ns::energy_spectrum(pde_snap.u1, pde_snap.u2);
+    const auto e_fno = ns::energy_spectrum(fno_snap.u1, fno_snap.u2);
+    for (std::size_t k = 1; k < e_pde.size(); ++k) {
+      const double ratio = (e_pde[k] > 0.0) ? e_fno[k] / e_pde[k] : 0.0;
+      table.add_row({static_cast<double>(s), static_cast<double>(k),
+                     e_pde[k], e_fno[k], ratio});
+    }
+  }
+  table.print_csv(std::cout);
+
+  // Summary: fidelity per wavenumber band at selected snapshots. Three
+  // regimes: energy-containing low k; mid k within the model's retained
+  // modes (where classic spectral bias under-represents energy); and the
+  // band beyond the retained modes, where the rollout accumulates spurious
+  // grid-scale noise.
+  const std::size_t retained =
+      static_cast<std::size_t>(setup.model->config().n_modes[0]);
+  for (const index_t s : {index_t{1}, index_t{10}, horizon}) {
+    const auto& pde_snap = pde_run.trajectory[static_cast<std::size_t>(s - 1)];
+    const auto& fno_snap = fno_run.trajectory[static_cast<std::size_t>(s - 1)];
+    const auto e_pde = ns::energy_spectrum(pde_snap.u1, pde_snap.u2);
+    const auto e_fno = ns::energy_spectrum(fno_snap.u1, fno_snap.u2);
+    double p[3] = {0, 0, 0}, f[3] = {0, 0, 0};
+    for (std::size_t k = 1; k < e_pde.size(); ++k) {
+      const int band = (k <= retained / 2) ? 0 : (k <= retained ? 1 : 2);
+      p[band] += e_pde[k];
+      f[band] += e_fno[k];
+    }
+    std::printf("# snapshot %2lld  E ratio (fno/pde): low-k %.3f, "
+                "mid-k(retained) %.3f, beyond-modes %.3f\n",
+                static_cast<long long>(s), f[0] / p[0], f[1] / p[1],
+                f[2] / p[2]);
+  }
+  std::cout << "# expectation: low-k near 1; mid-k drifts below 1 with "
+               "rollout length (spectral bias); beyond-modes ratio grows "
+               "far above 1 (spurious grid-scale noise) — both pure-FNO "
+               "failure modes the hybrid's PDE windows repair\n";
+  return 0;
+}

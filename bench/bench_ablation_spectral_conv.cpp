@@ -1,0 +1,65 @@
+// Ablation: spectral-convolution cost versus width and retained modes
+// (google-benchmark) — the design axes the paper's Figs. 5–7 sweep. Forward
+// and backward are timed separately; backward ≈ 2× forward is the expected
+// profile (two extra transforms plus the weight-gradient contraction).
+#include <benchmark/benchmark.h>
+
+#include "nn/spectral_conv.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace turb;
+
+void BM_SpectralConv2dForward(benchmark::State& state) {
+  const auto width = static_cast<index_t>(state.range(0));
+  const auto modes = static_cast<index_t>(state.range(1));
+  Rng rng(1);
+  nn::SpectralConv conv(width, width, {modes, modes}, rng);
+  TensorF x({4, width, 64, 64});
+  x.fill_normal(rng, 0.0, 1.0);
+  for (auto _ : state) {
+    auto y = conv.forward(x);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_SpectralConv2dForward)
+    ->Args({8, 8})
+    ->Args({8, 16})
+    ->Args({8, 32})
+    ->Args({16, 16})
+    ->Args({32, 16});
+
+void BM_SpectralConv2dBackward(benchmark::State& state) {
+  const auto width = static_cast<index_t>(state.range(0));
+  const auto modes = static_cast<index_t>(state.range(1));
+  Rng rng(2);
+  nn::SpectralConv conv(width, width, {modes, modes}, rng);
+  TensorF x({4, width, 64, 64});
+  x.fill_normal(rng, 0.0, 1.0);
+  TensorF y = conv.forward(x);
+  TensorF g(y.shape());
+  g.fill_normal(rng, 0.0, 1.0);
+  for (auto _ : state) {
+    auto dx = conv.backward(g);
+    benchmark::DoNotOptimize(dx.data());
+  }
+}
+BENCHMARK(BM_SpectralConv2dBackward)->Args({8, 16})->Args({16, 16});
+
+void BM_SpectralConv3dForward(benchmark::State& state) {
+  const auto width = static_cast<index_t>(state.range(0));
+  Rng rng(3);
+  nn::SpectralConv conv(width, width, {8, 8, 8}, rng);
+  TensorF x({2, width, 10, 32, 32});
+  x.fill_normal(rng, 0.0, 1.0);
+  for (auto _ : state) {
+    auto y = conv.forward(x);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_SpectralConv3dForward)->Arg(4)->Arg(8);
+
+}  // namespace
+
+BENCHMARK_MAIN();

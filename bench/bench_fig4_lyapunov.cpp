@@ -1,0 +1,80 @@
+// Fig. 4 — Lyapunov exponents of the two velocity components.
+//
+// Two trajectories A, B start with ‖u₁ᴬ(0) − u₁ᴮ(0)‖₂ = 1e-2 (paper §IV);
+// the finite-time exponents λᵢ = (1/tᵢ)ln(δx(tᵢ)/δx₀) are tracked per
+// component, and the summary exponent is the time-weighted mean of Eq. 1.
+// Paper values at Re 7000–8000 / 256²: Λ_max ≈ 2.15, Λ_avg ≈ 1.7,
+// T_L ≈ 0.45 t_c. At CI scale (lower Re, coarser grid) the flow is less
+// chaotic, so the exponent is smaller but must stay positive.
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+
+#include "common.hpp"
+
+int main() {
+  using namespace turb;
+  bench::print_header("Fig 4: Lyapunov exponents of u1 and u2");
+  const bench::ScaleParams p = bench::scale_params();
+
+  ns::NsConfig cfg;
+  cfg.n = std::max<index_t>(p.grid, 48);
+  cfg.viscosity = 1.0 / std::max(p.reynolds, 2000.0);
+  cfg.dt = 1e-3;
+  ns::SpectralNsSolver traj_a(cfg), traj_b(cfg);
+
+  Rng rng(77);
+  const auto field =
+      lbm::random_vortex_velocity(cfg.n, cfg.n, 4.0, 1.0, rng);
+  traj_a.set_velocity(field.u1, field.u2);
+
+  // Band-limited perturbation of the paper's magnitude ‖δu₁‖ = 1e-2 (white
+  // noise would decay viscously at high k before being amplified).
+  TensorD u1p = field.u1;
+  const auto bump = lbm::random_vortex_velocity(cfg.n, cfg.n, 4.0, 1.0, rng);
+  TensorD noise = bump.u1;
+  noise *= 1e-2 / noise.norm();
+  u1p += noise;
+  traj_b.set_velocity(u1p, field.u2);
+
+  TensorD a1, a2, b1, b2;
+  traj_a.velocity(a1, a2);
+  traj_b.velocity(b1, b2);
+  analysis::LyapunovEstimator est_u1(analysis::field_separation(a1, b1));
+  analysis::LyapunovEstimator est_u2(
+      std::max(analysis::field_separation(a2, b2), 1e-8));
+
+  SeriesTable table("fig4_lyapunov");
+  table.set_columns({"t_over_tc", "lambda_u1", "lambda_u2", "sep_u1",
+                     "sep_u2"});
+  const index_t blocks = 40;
+  const double t_end = 1.5;
+  const auto steps = static_cast<index_t>(
+      t_end / (cfg.dt * static_cast<double>(blocks)));
+  for (index_t blk = 0; blk < blocks; ++blk) {
+    traj_a.step(steps);
+    traj_b.step(steps);
+    traj_a.velocity(a1, a2);
+    traj_b.velocity(b1, b2);
+    est_u1.record_fields(traj_a.time(), a1, b1);
+    est_u2.record_fields(traj_a.time(), a2, b2);
+    table.add_row({traj_a.time(), est_u1.series().back().lambda,
+                   est_u2.series().back().lambda,
+                   est_u1.series().back().separation,
+                   est_u2.series().back().separation});
+  }
+  table.print_csv(std::cout);
+
+  const double lam1 = est_u1.weighted_exponent(0.8);
+  const double lam2 = est_u2.weighted_exponent(0.8);
+  const double lambda_max = std::max(lam1, lam2);
+  const double lambda_avg = 0.5 * (lam1 + lam2);
+  std::printf("Lambda_u1 %.3f  Lambda_u2 %.3f  max %.3f  avg %.3f\n", lam1,
+              lam2, lambda_max, lambda_avg);
+  if (lambda_max > 0.0) {
+    std::printf("T_L = 1/Lambda = %.3f t_c\n", 1.0 / lambda_max);
+  }
+  std::printf("# paper (Re 7000-8000, 256^2): max ~2.15, avg ~1.7, "
+              "T_L ~0.45 t_c\n");
+  return 0;
+}

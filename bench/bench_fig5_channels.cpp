@@ -1,0 +1,74 @@
+// Fig. 5 — 2D FNO rollout error versus number of output channels, for a
+// small and a large width.
+//
+// All models keep 10 input channels; output channels vary over {1, 2, 5, 10}.
+// Models train on equal data volume (the same trajectories; stride-1 windows
+// naturally give more training pairs to smaller-output models, as in §VI-A).
+// Each model is rolled out iteratively until 10 snapshots are predicted and
+// the per-step relative-L2 error is reported.
+//
+// Paper shape to reproduce: 1 output channel is worst (compound error);
+// the larger width trains slower and tends to overfit (higher test error).
+#include <iostream>
+
+#include "common.hpp"
+
+int main() {
+  using namespace turb;
+  bench::print_header("Fig 5: output-channel sweep at two widths");
+  const bench::ScaleParams p = bench::scale_params();
+
+  SeriesTable table("fig5_channel_errors");
+  table.set_columns({"width", "out_channels", "step", "rollout_error",
+                     "train_loss", "test_error", "n_windows",
+                     "train_seconds"});
+  SeriesTable summary("fig5_summary");
+  summary.set_columns({"width", "out_channels", "mean_rollout_error",
+                       "final_step_error"});
+
+  for (const index_t width : {p.width_small, p.width_large}) {
+    for (const index_t out_ch : {index_t{1}, index_t{2}, index_t{5},
+                                 index_t{10}}) {
+      fno::FnoConfig cfg;
+      cfg.in_channels = 10;
+      cfg.out_channels = out_ch;
+      cfg.width = width;
+      cfg.n_layers = 4;
+      cfg.n_modes = {p.modes, p.modes};
+      cfg.lifting_channels = 32;
+      cfg.projection_channels = 32;
+
+      bench::TrainOptions options;
+      options.epochs = p.epochs;
+      options.batch = p.batch;
+      options.max_windows = 240;  // runtime bound; same trajectories for all
+      options.seed = 5;
+      const bench::TrainEvalResult res = bench::train_and_eval_2d(cfg, options);
+
+      double mean_err = 0.0;
+      for (std::size_t s = 0; s < res.rollout_error.size(); ++s) {
+        table.add_row({static_cast<double>(width),
+                       static_cast<double>(out_ch),
+                       static_cast<double>(s + 1), res.rollout_error[s],
+                       res.final_train_loss, res.test_error,
+                       static_cast<double>(res.n_windows),
+                       res.train_seconds});
+        mean_err += res.rollout_error[s];
+      }
+      mean_err /= static_cast<double>(res.rollout_error.size());
+      summary.add_row({static_cast<double>(width),
+                       static_cast<double>(out_ch), mean_err,
+                       res.rollout_error.back()});
+      std::printf("# width %2lld out %2lld: mean rollout err %.4f "
+                  "(windows %lld, %.1fs)\n",
+                  static_cast<long long>(width),
+                  static_cast<long long>(out_ch), mean_err,
+                  static_cast<long long>(res.n_windows), res.train_seconds);
+    }
+  }
+  table.print_csv(std::cout);
+  summary.print_csv(std::cout);
+  std::cout << "# expectation (paper): out=1 worst (compound error); larger "
+               "width shows higher test error (overfitting)\n";
+  return 0;
+}

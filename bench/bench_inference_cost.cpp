@@ -1,0 +1,83 @@
+// §VII cost discussion — time-to-solution of the hybrid's components.
+//
+// The paper reports, for one 0.025 t_c window: PDE solver 20 s (AMD EPYC
+// 7413), FNO inference 0.3 s + 0.1 s host↔device transfer (A6000). We
+// measure the same decomposition on this machine: PDE window wall-clock,
+// FNO forward wall-clock, and the data-marshalling cost (the C++ array ↔
+// tensor conversion plus normalisation the paper calls out).
+//
+// Shape to reproduce: FNO inference is one to two orders of magnitude
+// cheaper than the PDE window it replaces.
+#include <iostream>
+
+#include "common.hpp"
+#include "util/timer.hpp"
+
+int main() {
+  using namespace turb;
+  bench::print_header("Inference cost: PDE window vs FNO surrogate");
+  const bench::ScaleParams p = bench::scale_params();
+
+  // Untrained weights time identically to trained ones; skip training.
+  fno::FnoConfig cfg;
+  cfg.in_channels = 10;
+  cfg.out_channels = 5;
+  cfg.width = p.width_small + p.width_small / 2;
+  cfg.n_layers = 4;
+  cfg.n_modes = {p.modes, p.modes};
+  cfg.lifting_channels = 64;
+  cfg.projection_channels = 64;
+  Rng rng(3);
+  fno::Fno model(cfg, rng);
+  analysis::Normalizer norm(0.0, 1.0);
+
+  bench::HybridSetup setup;
+  setup.dt_snap = p.dt_tc;
+  setup.grid = p.grid;
+  setup.viscosity = 1.0 / p.reynolds;
+
+  const core::History seed = bench::heldout_seed(10);
+  const index_t window = 5;  // 5 snapshots = 0.05 t_c at ci cadence
+
+  // PDE window.
+  core::PdePropagator pde(bench::make_reference_solver(setup), setup.dt_snap);
+  Timer t_pde;
+  (void)pde.advance(seed, window);
+  const double pde_s = t_pde.seconds();
+
+  // FNO window (includes marshalling; measured separately below).
+  core::FnoPropagator fno_prop(model, norm, setup.dt_snap);
+  (void)fno_prop.advance(seed, window);  // warm-up (FFT plans, caches)
+  Timer t_fno;
+  (void)fno_prop.advance(seed, window);
+  const double fno_total_s = t_fno.seconds();
+
+  // Pure model forward (no marshalling).
+  TensorF batch({2, cfg.in_channels, p.grid, p.grid});
+  batch.fill_normal(rng, 0.0, 1.0);
+  (void)model.forward(batch);
+  Timer t_fwd;
+  const int reps = 5;
+  for (int r = 0; r < reps; ++r) (void)model.forward(batch);
+  const double fwd_s = t_fwd.seconds() / reps;
+  const double marshal_s = std::max(fno_total_s - fwd_s, 0.0);
+
+  SeriesTable table("inference_cost");
+  table.set_columns({"seconds"});
+  table.add_row("pde_window_5_snapshots", {pde_s});
+  table.add_row("fno_window_total", {fno_total_s});
+  table.add_row("fno_forward_only", {fwd_s});
+  table.add_row("data_marshalling", {marshal_s});
+  table.add_row("speedup_pde_over_fno", {pde_s / fno_total_s});
+  table.print_pretty(std::cout);
+  table.print_csv(std::cout);
+  std::cout << "# paper (0.025 t_c window): PDE 20 s on EPYC 7413; FNO 0.3 s "
+               "+ 0.1 s transfer on A6000 (~50x)\n"
+            << "# expectation: surrogate window cheaper than the PDE window "
+               "it replaces; the ratio widens with grid size (PDE cost "
+               "scales with N^2 x CFL steps, FNO with retained modes) and "
+               "with the PDE solver's cost per step (the paper's "
+               "particle-resolved DNS is far costlier per step than our "
+               "pseudo-spectral reference)\n";
+  return 0;
+}

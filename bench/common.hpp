@@ -1,0 +1,95 @@
+// Shared infrastructure for the per-figure/table bench harnesses.
+//
+// Every bench prints the series the corresponding paper figure plots, as a
+// CSV block (SeriesTable). Parameters come in three scales selected by
+// TURBFNO_SCALE (ci | full | paper); `ci` fits a single CPU core in
+// O(minute) per bench, `paper` restores the published grid/ensemble/epochs.
+#pragma once
+
+#include <vector>
+
+#include "core/turbfno.hpp"
+#include "util/scale.hpp"
+#include "util/table.hpp"
+
+namespace turb::bench {
+
+struct ScaleParams {
+  index_t grid = 32;        ///< LBM/NS grid (paper: 256)
+  index_t ensemble = 4;     ///< training trajectories (paper: 5000)
+  index_t heldout = 2;      ///< evaluation trajectories (paper: 500)
+  double reynolds = 1000;   ///< (paper: 7000–8000)
+  double dt_tc = 0.01;      ///< snapshot cadence (paper: 0.005)
+  double t_end_tc = 0.6;    ///< trajectory length (paper: 1.0)
+  index_t epochs = 12;      ///< training epochs (paper: ~500)
+  index_t batch = 8;
+  index_t width_small = 8;   ///< stands for the paper's width 8
+  index_t width_large = 16;  ///< stands for the paper's width 40
+  index_t modes = 12;        ///< stands for the paper's 32 modes
+};
+
+/// Parameters for the active TURBFNO_SCALE.
+ScaleParams scale_params();
+
+/// Process-wide training ensemble (generated once, reused by the sweeps).
+const data::TurbulenceDataset& shared_dataset();
+
+/// Held-out trajectories for rollout evaluation (disjoint seeds).
+const data::TurbulenceDataset& heldout_dataset();
+
+struct TrainOptions {
+  index_t epochs = 12;
+  double lr = 1e-3;
+  long scheduler_step = 100;
+  double scheduler_gamma = 0.5;
+  index_t batch = 8;
+  index_t max_windows = 0;  ///< equal-data-volume cap (0 = all)
+  std::uint64_t seed = 1;
+};
+
+struct TrainEvalResult {
+  double final_train_loss = 0.0;
+  double test_error = 0.0;            ///< one-shot relative L2, held out
+  double seconds_per_epoch = 0.0;
+  double train_seconds = 0.0;
+  index_t n_windows = 0;
+  index_t parameters = 0;
+  /// Mean relative-L2 error at rollout steps 1..10 over held-out samples
+  /// (the y-axis of the paper's Figs. 5–7).
+  std::vector<double> rollout_error;
+};
+
+/// Train a rank-2 (temporal channels) FNO on velocity windows of the shared
+/// data set and evaluate iterative-rollout errors on the held-out set.
+TrainEvalResult train_and_eval_2d(const fno::FnoConfig& config,
+                                  const TrainOptions& options);
+
+/// Train a rank-3 FNO on vorticity block windows and evaluate block rollout
+/// errors per snapshot.
+TrainEvalResult train_and_eval_3d(const fno::FnoConfig& config,
+                                  const TrainOptions& options);
+
+/// Print a standard bench header (name + scale).
+void print_header(const char* bench_name);
+
+// --- hybrid experiment setup (Figs. 8–9) -----------------------------------
+
+/// A trained 10-in/5-out 2D FNO plus everything needed to build propagators.
+struct HybridSetup {
+  std::unique_ptr<fno::Fno> model;
+  analysis::Normalizer norm{0.0, 1.0};
+  double dt_snap = 0.0;   ///< snapshot spacing (t_c units)
+  index_t grid = 0;
+  double viscosity = 0.0; ///< non-dimensional (1/Re)
+};
+
+/// Train the hybrid experiment's surrogate on the shared ensemble.
+HybridSetup train_hybrid_setup();
+
+/// Seed history: the first `length` snapshots of a held-out trajectory.
+core::History heldout_seed(index_t length);
+
+/// Fresh spectral NS solver consistent with the setup's physics.
+std::unique_ptr<ns::NsSolver> make_reference_solver(const HybridSetup& setup);
+
+}  // namespace turb::bench

@@ -1,0 +1,73 @@
+// Decaying 2-D turbulence with the entropic lattice Boltzmann solver —
+// the paper's data-generation workflow (§III) as a standalone run.
+//
+// Evolves one sample, prints the global statistics the paper tracks (mean,
+// std, enstrophy, kinetic energy) and writes diverging-colormap vorticity
+// frames (omega_*.ppm) like the paper's Fig. 8 top row.
+//
+// Run:  ./decaying_turbulence [--grid 64] [--re 2000] [--tc 1.0]
+//                             [--frames 5] [--outdir .]
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "core/turbfno.hpp"
+#include "util/cli.hpp"
+#include "util/image.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace turb;
+  const CliArgs args(argc, argv);
+  const index_t grid = args.get_int("grid", 64);
+  const double re = args.get_double("re", 2000.0);
+  const double t_end = args.get_double("tc", 1.0);
+  const index_t frames = args.get_int("frames", 5);
+  const std::string outdir = args.get("outdir", ".");
+
+  lbm::LbmConfig cfg;
+  cfg.nx = grid;
+  cfg.ny = grid;
+  const double u0 = 0.05;
+  cfg.viscosity = u0 * static_cast<double>(grid) / re;
+  cfg.collision = lbm::Collision::kEntropic;
+  lbm::LbmSolver solver(cfg);
+
+  Rng rng(args.get_int("seed", 42));
+  const auto init = lbm::random_vortex_velocity(grid, grid, 4.0, u0, rng);
+  solver.initialize(init.u1, init.u2);
+
+  const double tc_steps = static_cast<double>(grid) / u0;
+  const auto steps_per_frame =
+      static_cast<index_t>(t_end * tc_steps / static_cast<double>(frames));
+
+  std::printf("entropic D2Q9, %lldx%lld, Re=%g (nu=%.2e), t_c=%g steps\n",
+              static_cast<long long>(grid), static_cast<long long>(grid), re,
+              cfg.viscosity, tc_steps);
+
+  SeriesTable table("decaying_turbulence_stats");
+  table.set_columns({"t_over_tc", "kinetic_energy", "enstrophy",
+                     "vorticity_mean", "vorticity_std", "alpha_min"});
+  for (index_t f = 0; f <= frames; ++f) {
+    if (f > 0) solver.step(steps_per_frame);
+    const TensorD u1 = solver.velocity_x();
+    const TensorD u2 = solver.velocity_y();
+    const TensorD omega = ns::vorticity_from_velocity(u1, u2);
+    const analysis::FieldStats stats = analysis::field_stats(omega);
+    const double t = static_cast<double>(f) * t_end /
+                     static_cast<double>(frames);
+    table.add_row({t, analysis::kinetic_energy(u1, u2),
+                   analysis::enstrophy(omega), stats.mean, stats.stddev,
+                   solver.entropic_stats().alpha_min});
+    char name[64];
+    std::snprintf(name, sizeof(name), "/omega_%03lld.ppm",
+                  static_cast<long long>(f));
+    write_ppm_diverging(outdir + name, omega.span(), static_cast<int>(grid),
+                        static_cast<int>(grid));
+  }
+  table.print_pretty(std::cout);
+  table.print_csv(std::cout);
+  std::printf("wrote %lld vorticity frames to %s\n",
+              static_cast<long long>(frames + 1), outdir.c_str());
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Lyapunov-time estimation for 2-D decaying turbulence (paper §IV, Fig. 4).
+//
+// Launches two Navier–Stokes trajectories whose initial u₁ fields differ by
+// δx₀ = 1e-2 (the paper's perturbation), tracks the separation of both
+// velocity components, and reports the finite-time exponents λᵢ, the
+// time-weighted Λ (Eq. 1), and T_L = 1/Λ.
+//
+// Run:  ./lyapunov_analysis [--grid 48] [--re 2000] [--tc 1.5] [--delta0 1e-2]
+#include <cstdio>
+#include <iostream>
+
+#include "core/turbfno.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace turb;
+  const CliArgs args(argc, argv);
+  const index_t grid = args.get_int("grid", 48);
+  const double re = args.get_double("re", 2000.0);
+  const double t_end = args.get_double("tc", 1.5);
+  const double delta0_target = args.get_double("delta0", 1e-2);
+
+  ns::NsConfig cfg;
+  cfg.n = grid;
+  cfg.viscosity = 1.0 / re;
+  cfg.dt = 1e-3;
+  ns::SpectralNsSolver traj_a(cfg), traj_b(cfg);
+
+  Rng rng(args.get_int("seed", 21));
+  const auto field = lbm::random_vortex_velocity(grid, grid, 4.0, 1.0, rng);
+  traj_a.set_velocity(field.u1, field.u2);
+
+  // Perturb u1 so that ‖u1_A − u1_B‖₂ = δx₀ (paper §IV).
+  TensorD u1p = field.u1;
+  Rng prng(rng.next_u64());
+  TensorD noise({grid, grid});
+  noise.fill_normal(prng, 0.0, 1.0);
+  noise *= delta0_target / noise.norm();
+  u1p += noise;
+  traj_b.set_velocity(u1p, field.u2);
+
+  TensorD a1, a2, b1, b2;
+  traj_a.velocity(a1, a2);
+  traj_b.velocity(b1, b2);
+  const double d0_u1 = analysis::field_separation(a1, b1);
+  const double d0_u2 = std::max(analysis::field_separation(a2, b2), 1e-12);
+  analysis::LyapunovEstimator est_u1(d0_u1), est_u2(d0_u2);
+  std::printf("delta0: u1 %.3e, u2 %.3e (u2 perturbed only via projection)\n",
+              d0_u1, d0_u2);
+
+  SeriesTable table("lyapunov_exponents");
+  table.set_columns({"t_over_tc", "sep_u1", "sep_u2", "lambda_u1",
+                     "lambda_u2"});
+  const index_t blocks = 30;
+  const auto steps_per_block = static_cast<index_t>(
+      t_end / (cfg.dt * static_cast<double>(blocks)));
+  for (index_t blk = 1; blk <= blocks; ++blk) {
+    traj_a.step(steps_per_block);
+    traj_b.step(steps_per_block);
+    traj_a.velocity(a1, a2);
+    traj_b.velocity(b1, b2);
+    const double t = traj_a.time();
+    est_u1.record_fields(t, a1, b1);
+    est_u2.record_fields(t, a2, b2);
+    table.add_row({t, est_u1.series().back().separation,
+                   est_u2.series().back().separation,
+                   est_u1.series().back().lambda,
+                   est_u2.series().back().lambda});
+  }
+  table.print_csv(std::cout);
+
+  // Exclude near-saturated points, as in the paper's discussion.
+  const double lam1 = est_u1.weighted_exponent(0.8);
+  const double lam2 = est_u2.weighted_exponent(0.8);
+  const double lambda_max = std::max(lam1, lam2);
+  std::printf("\n<lambda> (Eq. 1):  u1 %.3f, u2 %.3f  (paper: max 2.15, avg 1.7)\n",
+              lam1, lam2);
+  if (lambda_max > 0.0) {
+    std::printf("Lyapunov time T_L = 1/Lambda = %.3f t_c  (paper: ~0.45 t_c)\n",
+                1.0 / lambda_max);
+  } else {
+    std::printf("no positive exponent detected (flow too viscous?)\n");
+  }
+  return 0;
+}

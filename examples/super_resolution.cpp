@@ -1,0 +1,101 @@
+// Zero-shot super-resolution — the resolution-agnostic property of neural
+// operators (§II): an FNO trained on coarse-grid data evaluates directly on
+// a finer grid, because its weights live in mode space, not on the grid.
+//
+// Trains a one-step velocity predictor at 32², then evaluates the SAME
+// weights on 64² trajectories of the same flow physics and reports errors
+// at both resolutions.
+//
+// Run:  ./super_resolution [--coarse 32] [--fine 64] [--epochs 25]
+#include <cstdio>
+
+#include "core/turbfno.hpp"
+#include "util/cli.hpp"
+
+namespace {
+
+using namespace turb;
+
+/// Mean one-shot relative L2 of `model` on windows of `dataset`.
+double window_error(fno::Fno& model, const data::TurbulenceDataset& dataset,
+                    const data::WindowSpec& spec,
+                    const analysis::Normalizer& norm) {
+  TensorF x, y;
+  data::make_velocity_channel_windows(dataset, spec, x, y);
+  norm.apply(x);
+  norm.apply(y);
+  return fno::evaluate_fno(model, x, y, 4);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  const index_t coarse = args.get_int("coarse", 32);
+  const index_t fine = args.get_int("fine", 64);
+  const index_t epochs = args.get_int("epochs", 25);
+  TURB_CHECK(fine > coarse);
+
+  data::GeneratorConfig gen;
+  gen.grid = coarse;
+  gen.reynolds = 1000.0;
+  gen.dt_tc = 0.01;
+  gen.t_end_tc = 0.5;
+  std::printf("generating %lldx%lld training data...\n",
+              static_cast<long long>(coarse), static_cast<long long>(coarse));
+  const data::TurbulenceDataset coarse_train = data::generate_ensemble(gen, 6);
+  data::GeneratorConfig gen_heldout = gen;
+  gen_heldout.seed = 999331;
+  const data::TurbulenceDataset coarse_test =
+      data::generate_ensemble(gen_heldout, 2);
+
+  data::GeneratorConfig gen_fine = gen_heldout;
+  gen_fine.grid = fine;
+  std::printf("generating %lldx%lld evaluation data (same physics)...\n",
+              static_cast<long long>(fine), static_cast<long long>(fine));
+  const data::TurbulenceDataset fine_test =
+      data::generate_ensemble(gen_fine, 2);
+
+  data::WindowSpec spec;
+  spec.in_channels = 10;
+  spec.out_channels = 5;
+  TensorF x, y;
+  data::make_velocity_channel_windows(coarse_train, spec, x, y);
+  const analysis::Normalizer norm = analysis::Normalizer::fit(x);
+  norm.apply(x);
+  norm.apply(y);
+
+  fno::FnoConfig cfg;
+  cfg.in_channels = 10;
+  cfg.out_channels = 5;
+  cfg.width = 12;
+  cfg.n_layers = 4;
+  cfg.n_modes = {12, 12};  // modes ≤ coarse grid: usable on ANY finer grid
+  cfg.lifting_channels = 32;
+  cfg.projection_channels = 32;
+  Rng rng(7);
+  fno::Fno model(cfg, rng);
+
+  nn::DataLoader loader(x, y, 8, true, 11);
+  fno::TrainConfig tc;
+  tc.epochs = epochs;
+  tc.lr = 2e-3;
+  std::printf("training at %lld^2 (%lld windows)...\n",
+              static_cast<long long>(coarse),
+              static_cast<long long>(x.dim(0)));
+  const fno::TrainResult train = fno::train_fno(model, loader, tc);
+  std::printf("  final loss %.4f in %.1fs\n", train.final_train_loss(),
+              train.total_seconds);
+
+  const double err_coarse = window_error(model, coarse_test, spec, norm);
+  const double err_fine = window_error(model, fine_test, spec, norm);
+  std::printf("\nheld-out relative-L2 error:\n");
+  std::printf("  trained resolution   %3lld^2: %.4f\n",
+              static_cast<long long>(coarse), err_coarse);
+  std::printf("  zero-shot resolution %3lld^2: %.4f\n",
+              static_cast<long long>(fine), err_fine);
+  std::printf("\nthe same %lld weights served both grids — no retraining, "
+              "no interpolation.\n",
+              static_cast<long long>(model.parameter_count()));
+  return 0;
+}

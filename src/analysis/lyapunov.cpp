@@ -1,0 +1,61 @@
+#include "analysis/lyapunov.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "util/common.hpp"
+
+namespace turb::analysis {
+
+double field_separation(const TensorD& a, const TensorD& b) {
+  TURB_CHECK(a.size() == b.size() && !a.empty());
+  double acc = 0.0;
+  for (index_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    acc += d * d;
+  }
+  return std::sqrt(acc);
+}
+
+LyapunovEstimator::LyapunovEstimator(double delta0) : delta0_(delta0) {
+  TURB_CHECK_MSG(delta0_ > 0.0, "initial separation must be positive");
+}
+
+void LyapunovEstimator::record(double t, double separation) {
+  TURB_CHECK_MSG(t > 0.0, "sample time must be positive");
+  TURB_CHECK_MSG(separation > 0.0, "separation must be positive");
+  LyapunovPoint p;
+  p.t = t;
+  p.separation = separation;
+  p.lambda = std::log(separation / delta0_) / t;
+  series_.push_back(p);
+}
+
+void LyapunovEstimator::record_fields(double t, const TensorD& a,
+                                      const TensorD& b) {
+  record(t, field_separation(a, b));
+}
+
+double LyapunovEstimator::weighted_exponent(double saturation_fraction) const {
+  TURB_CHECK(!series_.empty());
+  double max_sep = 0.0;
+  for (const auto& p : series_) max_sep = std::max(max_sep, p.separation);
+  const double cutoff = saturation_fraction * max_sep;
+
+  double num = 0.0, den = 0.0;
+  for (const auto& p : series_) {
+    if (p.separation > cutoff) continue;
+    num += p.lambda * p.t;
+    den += p.t;
+  }
+  TURB_CHECK_MSG(den > 0.0, "no points below saturation cutoff");
+  return num / den;
+}
+
+double LyapunovEstimator::lyapunov_time(double saturation_fraction) const {
+  const double lambda = weighted_exponent(saturation_fraction);
+  if (lambda <= 0.0) return std::numeric_limits<double>::infinity();
+  return 1.0 / lambda;
+}
+
+}  // namespace turb::analysis

@@ -1,0 +1,58 @@
+// Maximum-Lyapunov-exponent estimation (paper §IV, Eq. 1, Fig. 4).
+//
+// Two trajectories A and B are launched from initial conditions separated by
+// δx₀ = ‖u^A(0) − u^B(0)‖₂. At each sample time tᵢ the finite-time exponent
+//   λᵢ = (1/tᵢ) ln(δx(tᵢ)/δx₀)
+// is recorded; the summary exponent is the time-weighted mean
+//   ⟨λ⟩ = Σᵢ λᵢ tᵢ / Σᵢ tᵢ                                   (Eq. 1)
+// and the Lyapunov time is T_L = 1/Λ with Λ = max⟨λ⟩ over the observed
+// fields. Separations near attractor saturation can be excluded via
+// `saturation_fraction`.
+#pragma once
+
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace turb::analysis {
+
+struct LyapunovPoint {
+  double t = 0.0;           ///< sample time
+  double separation = 0.0;  ///< δx(t)
+  double lambda = 0.0;      ///< finite-time exponent λᵢ
+};
+
+class LyapunovEstimator {
+ public:
+  /// @param delta0 initial separation δx₀ (must be > 0).
+  explicit LyapunovEstimator(double delta0);
+
+  /// Record the separation of the two trajectories at time t > 0.
+  void record(double t, double separation);
+
+  /// Record δx(t) = ‖a − b‖₂ directly from two fields.
+  void record_fields(double t, const TensorD& a, const TensorD& b);
+
+  [[nodiscard]] const std::vector<LyapunovPoint>& series() const {
+    return series_;
+  }
+
+  /// Time-weighted mean exponent (Eq. 1). Points with separation above
+  /// `saturation_fraction × max separation seen` are excluded (they probe
+  /// the attractor size, not the local dynamics). Pass 1.0 to keep all.
+  [[nodiscard]] double weighted_exponent(double saturation_fraction = 1.0) const;
+
+  /// T_L = 1/⟨λ⟩ (weighted); infinite when the exponent is ≤ 0.
+  [[nodiscard]] double lyapunov_time(double saturation_fraction = 1.0) const;
+
+  [[nodiscard]] double delta0() const { return delta0_; }
+
+ private:
+  double delta0_;
+  std::vector<LyapunovPoint> series_;
+};
+
+/// δx between velocity fields: ‖a − b‖₂ over the grid.
+double field_separation(const TensorD& a, const TensorD& b);
+
+}  // namespace turb::analysis

@@ -1,0 +1,116 @@
+#include "analysis/stats.hpp"
+
+#include <cmath>
+
+#include "util/common.hpp"
+
+namespace turb::analysis {
+
+FieldStats field_stats(const TensorD& f) {
+  TURB_CHECK(!f.empty());
+  FieldStats s;
+  s.mean = f.mean();
+  double var = 0.0;
+  for (index_t i = 0; i < f.size(); ++i) {
+    const double d = f[i] - s.mean;
+    var += d * d;
+  }
+  s.stddev = std::sqrt(var / static_cast<double>(f.size()));
+  s.frobenius = f.norm();
+  return s;
+}
+
+double normalized_projection(const TensorD& a, const TensorD& b) {
+  TURB_CHECK(a.size() == b.size() && !a.empty());
+  double dot = 0.0;
+  for (index_t i = 0; i < a.size(); ++i) dot += a[i] * b[i];
+  const double denom = a.norm() * b.norm();
+  TURB_CHECK_MSG(denom > 0.0, "zero-norm field in projection");
+  return dot / denom;
+}
+
+double pearson_correlation(const TensorD& a, const TensorD& b) {
+  TURB_CHECK(a.size() == b.size() && a.size() >= 2);
+  const double ma = a.mean();
+  const double mb = b.mean();
+  double cov = 0.0, va = 0.0, vb = 0.0;
+  for (index_t i = 0; i < a.size(); ++i) {
+    const double da = a[i] - ma;
+    const double db = b[i] - mb;
+    cov += da * db;
+    va += da * da;
+    vb += db * db;
+  }
+  const double denom = std::sqrt(va * vb);
+  TURB_CHECK_MSG(denom > 0.0, "constant field in correlation");
+  return cov / denom;
+}
+
+double relative_l2_difference(const TensorD& a, const TensorD& b) {
+  TURB_CHECK(a.size() == b.size() && !a.empty());
+  double num = 0.0;
+  for (index_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    num += d * d;
+  }
+  const double denom = b.squared_norm();
+  TURB_CHECK_MSG(denom > 0.0, "zero-norm reference field");
+  return std::sqrt(num / denom);
+}
+
+double kinetic_energy(const TensorD& u1, const TensorD& u2) {
+  TURB_CHECK(u1.size() == u2.size() && !u1.empty());
+  return 0.5 * (u1.squared_norm() + u2.squared_norm()) /
+         static_cast<double>(u1.size());
+}
+
+double enstrophy(const TensorD& omega) {
+  TURB_CHECK(!omega.empty());
+  return omega.squared_norm() / static_cast<double>(omega.size());
+}
+
+Normalizer::Normalizer(double mean, double stddev)
+    : mean_(mean), stddev_(stddev) {
+  TURB_CHECK_MSG(stddev_ > 0.0, "normalizer needs positive stddev");
+}
+
+Normalizer Normalizer::fit(const TensorD& reference) {
+  const FieldStats s = field_stats(reference);
+  TURB_CHECK_MSG(s.stddev > 0.0, "cannot normalise a constant field");
+  return Normalizer(s.mean, s.stddev);
+}
+
+Normalizer Normalizer::fit(const TensorF& reference) {
+  TURB_CHECK(!reference.empty());
+  const double mean = reference.mean();
+  double var = 0.0;
+  for (index_t i = 0; i < reference.size(); ++i) {
+    const double d = static_cast<double>(reference[i]) - mean;
+    var += d * d;
+  }
+  const double stddev = std::sqrt(var / static_cast<double>(reference.size()));
+  TURB_CHECK_MSG(stddev > 0.0, "cannot normalise a constant data set");
+  return Normalizer(mean, stddev);
+}
+
+void Normalizer::apply(TensorD& f) const {
+  for (index_t i = 0; i < f.size(); ++i) f[i] = (f[i] - mean_) / stddev_;
+}
+
+void Normalizer::apply(TensorF& f) const {
+  const auto m = static_cast<float>(mean_);
+  const auto inv = static_cast<float>(1.0 / stddev_);
+  for (index_t i = 0; i < f.size(); ++i) f[i] = (f[i] - m) * inv;
+}
+
+void Normalizer::invert(TensorD& f) const {
+  for (index_t i = 0; i < f.size(); ++i) f[i] = f[i] * stddev_ + mean_;
+}
+
+void Normalizer::invert(TensorF& f) const {
+  const auto m = static_cast<float>(mean_);
+  const auto s = static_cast<float>(stddev_);
+  for (index_t i = 0; i < f.size(); ++i) f[i] = f[i] * s + m;
+}
+
+}  // namespace turb::analysis

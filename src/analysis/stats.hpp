@@ -1,0 +1,62 @@
+// Field statistics used throughout the paper's evaluation:
+// vorticity mean/std/Frobenius norm (Fig. 1), L2 separation (Fig. 2),
+// correlation coefficient / normalized projection (Fig. 3), and the global
+// kinetic-energy / enstrophy / divergence diagnostics of Figs. 8–9.
+#pragma once
+
+#include "tensor/tensor.hpp"
+
+namespace turb::analysis {
+
+struct FieldStats {
+  double mean = 0.0;
+  double stddev = 0.0;
+  double frobenius = 0.0;  ///< √(Σ f²)
+};
+
+/// Mean, standard deviation, and Frobenius norm of a field.
+FieldStats field_stats(const TensorD& f);
+
+/// Normalized projection (correlation coefficient without mean removal, as
+/// in the paper's Fig. 3): ⟨a, b⟩ / (‖a‖·‖b‖).
+double normalized_projection(const TensorD& a, const TensorD& b);
+
+/// Pearson correlation coefficient (means removed).
+double pearson_correlation(const TensorD& a, const TensorD& b);
+
+/// ‖a − b‖₂ / ‖b‖₂ — the scaled separation of Fig. 2.
+double relative_l2_difference(const TensorD& a, const TensorD& b);
+
+/// Global kinetic energy  (1/2)·⟨u₁² + u₂²⟩ (domain mean).
+double kinetic_energy(const TensorD& u1, const TensorD& u2);
+
+/// Global enstrophy ⟨ω²⟩ (domain mean of squared vorticity).
+double enstrophy(const TensorD& omega);
+
+/// Affine normalisation x ↦ (x − mean)/std fitted on a reference field or
+/// data set (the paper normalises each sample by its t = 0 statistics; the
+/// training pipeline normalises by data-set statistics).
+class Normalizer {
+ public:
+  Normalizer() = default;
+  Normalizer(double mean, double stddev);
+
+  /// Fit from a double field (e.g. the t = 0 snapshot of a sample).
+  static Normalizer fit(const TensorD& reference);
+  /// Fit from a float data set tensor.
+  static Normalizer fit(const TensorF& reference);
+
+  [[nodiscard]] double mean() const { return mean_; }
+  [[nodiscard]] double stddev() const { return stddev_; }
+
+  void apply(TensorD& f) const;
+  void apply(TensorF& f) const;
+  void invert(TensorD& f) const;
+  void invert(TensorF& f) const;
+
+ private:
+  double mean_ = 0.0;
+  double stddev_ = 1.0;
+};
+
+}  // namespace turb::analysis

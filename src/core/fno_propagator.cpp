@@ -1,0 +1,81 @@
+#include "core/fno_propagator.hpp"
+
+#include <algorithm>
+
+namespace turb::core {
+
+FnoPropagator::FnoPropagator(fno::Fno& model, analysis::Normalizer normalizer,
+                             double dt_snap)
+    : model_(&model), normalizer_(normalizer), dt_snap_(dt_snap) {
+  TURB_CHECK(dt_snap_ > 0.0);
+  TURB_CHECK_MSG(model_->config().rank() == 2,
+                 "FnoPropagator requires a rank-2 (temporal channels) model");
+}
+
+std::vector<FieldSnapshot> FnoPropagator::advance(const History& history,
+                                                  index_t count) {
+  const index_t cin = model_->config().in_channels;
+  const index_t cout = model_->config().out_channels;
+  TURB_CHECK_MSG(static_cast<index_t>(history.size()) >= cin,
+                 "fno propagator needs " << cin << " history snapshots, got "
+                                         << history.size());
+  TURB_CHECK(count >= 1);
+  const TensorD& ref = history.back().u1;
+  const index_t h = ref.dim(0), w = ref.dim(1);
+  const index_t frame = h * w;
+
+  // Both components in one batch: (2, C_in, H, W), normalised.
+  TensorF window({2, cin, h, w});
+  const auto first = history.size() - static_cast<std::size_t>(cin);
+  for (index_t c = 0; c < cin; ++c) {
+    const FieldSnapshot& snap = history[first + static_cast<std::size_t>(c)];
+    TURB_CHECK(snap.u1.size() == frame && snap.u2.size() == frame);
+    for (index_t i = 0; i < frame; ++i) {
+      window[(0 * cin + c) * frame + i] = static_cast<float>(snap.u1[i]);
+      window[(1 * cin + c) * frame + i] = static_cast<float>(snap.u2[i]);
+    }
+  }
+  normalizer_.apply(window);
+
+  std::vector<FieldSnapshot> out;
+  out.reserve(static_cast<std::size_t>(count));
+  const double t0 = history.back().t;
+  index_t produced = 0;
+  while (produced < count) {
+    TensorF pred = model_->forward(window);  // (2, C_out, H, W), normalised
+    // Slide the window before de-normalising.
+    TensorF next({2, cin, h, w});
+    if (cout >= cin) {
+      for (index_t b = 0; b < 2; ++b) {
+        std::copy_n(pred.data() + (b * cout + (cout - cin)) * frame,
+                    cin * frame, next.data() + b * cin * frame);
+      }
+    } else {
+      for (index_t b = 0; b < 2; ++b) {
+        std::copy_n(window.data() + (b * cin + cout) * frame,
+                    (cin - cout) * frame, next.data() + b * cin * frame);
+        std::copy_n(pred.data() + b * cout * frame, cout * frame,
+                    next.data() + (b * cin + (cin - cout)) * frame);
+      }
+    }
+    window = std::move(next);
+
+    normalizer_.invert(pred);
+    const index_t take = std::min(cout, count - produced);
+    for (index_t s = 0; s < take; ++s) {
+      FieldSnapshot snap;
+      snap.t = t0 + dt_snap_ * static_cast<double>(produced + s + 1);
+      snap.u1 = TensorD({h, w});
+      snap.u2 = TensorD({h, w});
+      for (index_t i = 0; i < frame; ++i) {
+        snap.u1[i] = pred[(0 * cout + s) * frame + i];
+        snap.u2[i] = pred[(1 * cout + s) * frame + i];
+      }
+      out.push_back(std::move(snap));
+    }
+    produced += take;
+  }
+  return out;
+}
+
+}  // namespace turb::core

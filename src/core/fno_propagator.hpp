@@ -1,0 +1,36 @@
+// FNO propagator: a trained "2D FNO with temporal channels" model behind the
+// Propagator interface. Each velocity component is advanced by the same
+// operator (components ride the batch axis, matching the paper's training
+// setup); inputs are normalised with the statistics the model was trained
+// under and predictions are de-normalised on the way out.
+#pragma once
+
+#include "analysis/stats.hpp"
+#include "core/propagator.hpp"
+#include "fno/fno.hpp"
+
+namespace turb::core {
+
+class FnoPropagator final : public Propagator {
+ public:
+  /// @param model      trained rank-2 FNO (not owned; must outlive this)
+  /// @param normalizer data-set normaliser used during training
+  /// @param dt_snap    snapshot spacing the model was trained at (t_c units)
+  FnoPropagator(fno::Fno& model, analysis::Normalizer normalizer,
+                double dt_snap);
+
+  std::vector<FieldSnapshot> advance(const History& history,
+                                     index_t count) override;
+  [[nodiscard]] double dt_snap() const override { return dt_snap_; }
+  [[nodiscard]] index_t min_history() const override {
+    return model_->config().in_channels;
+  }
+  [[nodiscard]] std::string name() const override { return "fno"; }
+
+ private:
+  fno::Fno* model_;
+  analysis::Normalizer normalizer_;
+  double dt_snap_;
+};
+
+}  // namespace turb::core

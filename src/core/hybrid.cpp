@@ -1,0 +1,88 @@
+#include "core/hybrid.hpp"
+
+#include <cmath>
+
+namespace turb::core {
+
+namespace {
+
+void append(History& history, RolloutResult& result,
+            std::vector<FieldSnapshot>&& produced, const std::string& name,
+            index_t max_history) {
+  for (auto& snap : produced) {
+    result.metrics.push_back(compute_metrics(snap));
+    result.producer.push_back(name);
+    history.push_back(snap);
+    result.trajectory.push_back(std::move(snap));
+    while (static_cast<index_t>(history.size()) > max_history) {
+      history.pop_front();
+    }
+  }
+}
+
+}  // namespace
+
+HybridScheduler::HybridScheduler(Propagator& fno, Propagator& pde,
+                                 HybridConfig config)
+    : fno_(&fno), pde_(&pde), config_(config) {
+  TURB_CHECK_MSG(std::abs(fno.dt_snap() - pde.dt_snap()) <
+                     1e-12 * fno.dt_snap(),
+                 "propagators disagree on snapshot spacing: "
+                     << fno.dt_snap() << " vs " << pde.dt_snap());
+  TURB_CHECK_MSG(config_.fno_snapshots > 0 || config_.pde_snapshots > 0,
+                 "at least one window must be non-empty");
+  TURB_CHECK(config_.max_history >= fno.min_history());
+}
+
+RolloutResult HybridScheduler::run(const History& seed,
+                                   index_t total_snapshots) {
+  TURB_CHECK(total_snapshots >= 1);
+  TURB_CHECK_MSG(!seed.empty(), "empty seed history");
+  if (config_.fno_snapshots > 0) {
+    TURB_CHECK_MSG(static_cast<index_t>(seed.size()) >= fno_->min_history(),
+                   "seed shorter than the FNO input window");
+  }
+
+  History history = seed;
+  RolloutResult result;
+  result.trajectory.reserve(static_cast<std::size_t>(total_snapshots));
+
+  bool fno_turn = config_.start_with_fno && config_.fno_snapshots > 0;
+  index_t produced = 0;
+  while (produced < total_snapshots) {
+    Propagator* active = fno_turn ? fno_ : pde_;
+    const index_t window =
+        fno_turn ? config_.fno_snapshots : config_.pde_snapshots;
+    if (window == 0) {
+      fno_turn = !fno_turn;
+      continue;
+    }
+    const index_t count = std::min(window, total_snapshots - produced);
+    append(history, result, active->advance(history, count), active->name(),
+           config_.max_history);
+    produced += count;
+    if (config_.fno_snapshots > 0 && config_.pde_snapshots > 0) {
+      fno_turn = !fno_turn;
+    }
+  }
+  return result;
+}
+
+RolloutResult run_single(Propagator& propagator, const History& seed,
+                         index_t total_snapshots) {
+  TURB_CHECK(total_snapshots >= 1);
+  History history = seed;
+  RolloutResult result;
+  // Advance in modest windows so the rolling history stays bounded.
+  const index_t window = 16;
+  index_t produced = 0;
+  while (produced < total_snapshots) {
+    const index_t count = std::min(window, total_snapshots - produced);
+    append(history, result, propagator.advance(history, count),
+           propagator.name(), /*max_history=*/64);
+    produced += count;
+  }
+  return result;
+}
+
+}  // namespace turb::core

@@ -1,0 +1,52 @@
+// HybridScheduler — the paper's contribution (§V, §VI-C).
+//
+// The scheduler alternates between two propagators in fixed windows: the FNO
+// surrogate produces `fno_snapshots` cheap predictions, then the PDE solver
+// takes over for `pde_snapshots`, re-imposing the governing physics
+// (divergence-free velocity, dissipation) before the surrogate resumes. With
+// fno_snapshots = 0 the rollout is pure PDE; with pde_snapshots = 0 it is a
+// pure FNO rollout — the three curves of Figs. 8–9 come from one code path.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "core/metrics.hpp"
+#include "core/propagator.hpp"
+
+namespace turb::core {
+
+struct HybridConfig {
+  index_t fno_snapshots = 5;  ///< surrogate window length (0 = pure PDE)
+  index_t pde_snapshots = 5;  ///< solver window length (0 = pure FNO)
+  bool start_with_fno = true; ///< which propagator opens the alternation
+  index_t max_history = 64;   ///< rolling-history truncation
+};
+
+struct RolloutResult {
+  std::vector<FieldSnapshot> trajectory;  ///< produced snapshots, in order
+  std::vector<SnapshotMetrics> metrics;   ///< diagnostics per snapshot
+  std::vector<std::string> producer;      ///< which propagator made each one
+};
+
+class HybridScheduler {
+ public:
+  /// Both propagators must share the same dt_snap (checked).
+  HybridScheduler(Propagator& fno, Propagator& pde, HybridConfig config);
+
+  /// Extend `seed` (the initial history, oldest first) by `total_snapshots`.
+  /// The seed must satisfy the FNO's min_history when fno windows are
+  /// enabled.
+  RolloutResult run(const History& seed, index_t total_snapshots);
+
+ private:
+  Propagator* fno_;
+  Propagator* pde_;
+  HybridConfig config_;
+};
+
+/// Convenience: single-propagator rollout with metrics (pure PDE / pure FNO).
+RolloutResult run_single(Propagator& propagator, const History& seed,
+                         index_t total_snapshots);
+
+}  // namespace turb::core

@@ -1,0 +1,36 @@
+#include "core/metrics.hpp"
+
+#include <cmath>
+
+#include "analysis/stats.hpp"
+#include "ns/spectral_ops.hpp"
+
+namespace turb::core {
+
+SnapshotMetrics compute_metrics(const FieldSnapshot& snapshot) {
+  SnapshotMetrics m;
+  m.t = snapshot.t;
+  m.kinetic_energy = analysis::kinetic_energy(snapshot.u1, snapshot.u2);
+  const TensorD omega = ns::vorticity_from_velocity(snapshot.u1, snapshot.u2);
+  m.enstrophy = analysis::enstrophy(omega);
+  const TensorD div = ns::divergence(snapshot.u1, snapshot.u2);
+  m.divergence_linf = div.max_abs();
+  m.divergence_l2 =
+      std::sqrt(div.squared_norm() / static_cast<double>(div.size()));
+  return m;
+}
+
+std::vector<SnapshotMetrics> compute_metrics(
+    const std::vector<FieldSnapshot>& trajectory) {
+  std::vector<SnapshotMetrics> out;
+  out.reserve(trajectory.size());
+  for (const auto& snap : trajectory) out.push_back(compute_metrics(snap));
+  return out;
+}
+
+double percentage_error(double value, double reference) {
+  TURB_CHECK(reference != 0.0);
+  return std::abs(value - reference) / std::abs(reference) * 100.0;
+}
+
+}  // namespace turb::core

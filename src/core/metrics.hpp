@@ -1,0 +1,31 @@
+// Global flow diagnostics recorded along a rollout (paper Figs. 8–9):
+// kinetic energy, enstrophy, and the divergence residual that distinguishes
+// physical PDE states from raw FNO predictions.
+#pragma once
+
+#include <vector>
+
+#include "core/propagator.hpp"
+
+namespace turb::core {
+
+struct SnapshotMetrics {
+  double t = 0.0;
+  double kinetic_energy = 0.0;   ///< (1/2)⟨|u|²⟩
+  double enstrophy = 0.0;        ///< ⟨ω²⟩
+  double divergence_linf = 0.0;  ///< max |∇·u|
+  double divergence_l2 = 0.0;    ///< √⟨(∇·u)²⟩
+};
+
+/// Diagnostics for one snapshot.
+SnapshotMetrics compute_metrics(const FieldSnapshot& snapshot);
+
+/// Diagnostics for a whole trajectory.
+std::vector<SnapshotMetrics> compute_metrics(
+    const std::vector<FieldSnapshot>& trajectory);
+
+/// Percentage error |a − b|/|b| · 100 between a quantity of two trajectories
+/// (paper Fig. 9 reports K.E. and enstrophy errors this way).
+double percentage_error(double value, double reference);
+
+}  // namespace turb::core

@@ -1,0 +1,41 @@
+#include "core/pde_propagator.hpp"
+
+#include <cmath>
+
+namespace turb::core {
+
+PdePropagator::PdePropagator(std::unique_ptr<ns::NsSolver> solver,
+                             double dt_snap)
+    : solver_(std::move(solver)), dt_snap_(dt_snap) {
+  TURB_CHECK(solver_ != nullptr);
+  TURB_CHECK(dt_snap_ > 0.0);
+  const double ratio = dt_snap_ / solver_->config().dt;
+  steps_per_snap_ = static_cast<index_t>(std::llround(ratio));
+  TURB_CHECK_MSG(steps_per_snap_ >= 1 &&
+                     std::abs(ratio - static_cast<double>(steps_per_snap_)) <
+                         1e-9,
+                 "snapshot spacing " << dt_snap_
+                                     << " is not a multiple of solver dt "
+                                     << solver_->config().dt);
+}
+
+std::vector<FieldSnapshot> PdePropagator::advance(const History& history,
+                                                  index_t count) {
+  TURB_CHECK_MSG(!history.empty(), "pde propagator needs a seed snapshot");
+  TURB_CHECK(count >= 1);
+  const FieldSnapshot& seed = history.back();
+  solver_->set_velocity(seed.u1, seed.u2);
+
+  std::vector<FieldSnapshot> out;
+  out.reserve(static_cast<std::size_t>(count));
+  for (index_t s = 0; s < count; ++s) {
+    solver_->step(steps_per_snap_);
+    FieldSnapshot snap;
+    snap.t = seed.t + dt_snap_ * static_cast<double>(s + 1);
+    solver_->velocity(snap.u1, snap.u2);
+    out.push_back(std::move(snap));
+  }
+  return out;
+}
+
+}  // namespace turb::core

@@ -1,0 +1,44 @@
+// In-memory turbulence data set (paper §III).
+//
+// A sample is one decaying-turbulence simulation: velocity components and
+// vorticity sampled at a fixed cadence in convective-time units. The
+// ensemble of samples differs only in the random initial condition, exactly
+// as in the paper's 5000-run data set.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace turb::data {
+
+/// One simulation's trajectory: (T, H, W) per field, times in units of t_c.
+struct SnapshotSeries {
+  std::vector<double> times;
+  TensorF u1;     ///< (T, H, W) x-velocity (non-dimensional, U₀ = 1 scale)
+  TensorF u2;     ///< (T, H, W) y-velocity
+  TensorF omega;  ///< (T, H, W) vorticity
+
+  [[nodiscard]] index_t steps() const { return u1.empty() ? 0 : u1.dim(0); }
+  [[nodiscard]] index_t height() const { return u1.dim(1); }
+  [[nodiscard]] index_t width() const { return u1.dim(2); }
+};
+
+/// An ensemble of trajectories with identical shape and cadence.
+struct TurbulenceDataset {
+  std::vector<SnapshotSeries> samples;
+  double dt_tc = 0.0;  ///< snapshot spacing in units of t_c
+
+  [[nodiscard]] index_t num_samples() const {
+    return static_cast<index_t>(samples.size());
+  }
+};
+
+/// Serialise to the binary .tds format (magic "TDS1", little-endian).
+void save_dataset(const std::string& path, const TurbulenceDataset& dataset);
+
+/// Load a .tds file.
+TurbulenceDataset load_dataset(const std::string& path);
+
+}  // namespace turb::data

@@ -1,0 +1,99 @@
+#include "data/generator.hpp"
+
+#include <cmath>
+
+#include "lbm/initializer.hpp"
+#include "ns/spectral_ops.hpp"
+
+namespace turb::data {
+
+double convective_time_steps(const GeneratorConfig& config) {
+  return static_cast<double>(config.grid) / config.u0;
+}
+
+SnapshotSeries generate_sample(const GeneratorConfig& config,
+                               std::uint64_t sample_index) {
+  TURB_CHECK(config.grid >= 16);
+  TURB_CHECK(config.u0 > 0.0 && config.u0 < 0.15);
+  TURB_CHECK(config.reynolds > 0.0);
+  TURB_CHECK(config.dt_tc > 0.0 && config.t_end_tc >= config.dt_tc);
+
+  const index_t n = config.grid;
+  lbm::LbmConfig lbm_cfg;
+  lbm_cfg.nx = n;
+  lbm_cfg.ny = n;
+  lbm_cfg.viscosity = config.u0 * static_cast<double>(n) / config.reynolds;
+  lbm_cfg.collision = config.collision;
+  lbm::LbmSolver solver(lbm_cfg);
+
+  // Independent RNG stream per sample (deterministic across runs and thread
+  // counts).
+  Rng rng(config.seed ^ (0x9E3779B97F4A7C15ull * (sample_index + 1)));
+  const lbm::VelocityField init =
+      config.init == InitKind::kUniformNoise
+          ? lbm::random_uniform_velocity(n, n, config.u0, rng)
+          : lbm::random_vortex_velocity(n, n, config.vortex_k_peak, config.u0,
+                                        rng);
+  solver.initialize(init.u1, init.u2);
+
+  const double tc_steps = convective_time_steps(config);
+  const auto burn_steps =
+      static_cast<index_t>(std::llround(config.burn_in_tc * tc_steps));
+  solver.step(burn_steps);
+  TURB_CHECK_MSG(!solver.has_blown_up(),
+                 "LBM blew up during burn-in (sample " << sample_index << ")");
+
+  const auto interval =
+      static_cast<index_t>(std::llround(config.dt_tc * tc_steps));
+  TURB_CHECK_MSG(interval >= 1, "dt_tc below one lattice step");
+  const auto n_snapshots =
+      static_cast<index_t>(std::llround(config.t_end_tc / config.dt_tc)) + 1;
+
+  SnapshotSeries series;
+  series.times.reserve(static_cast<std::size_t>(n_snapshots));
+  series.u1 = TensorF({n_snapshots, n, n});
+  series.u2 = TensorF({n_snapshots, n, n});
+  series.omega = TensorF({n_snapshots, n, n});
+
+  const double inv_u0 = 1.0 / config.u0;  // non-dimensionalise to U₀ = 1
+  for (index_t s = 0; s < n_snapshots; ++s) {
+    if (s > 0) {
+      solver.step(interval);
+      TURB_CHECK_MSG(!solver.has_blown_up(),
+                     "LBM blew up at snapshot " << s << " (sample "
+                                                << sample_index << ")");
+    }
+    const TensorD u1 = solver.velocity_x();
+    const TensorD u2 = solver.velocity_y();
+    // ω in convective units: the unit box spans N lattice cells, so the
+    // spectral curl on the unit box already includes the 1/L factor.
+    TensorD u1n = u1, u2n = u2;
+    u1n *= inv_u0;
+    u2n *= inv_u0;
+    const TensorD omega = ns::vorticity_from_velocity(u1n, u2n);
+
+    series.times.push_back(config.dt_tc * static_cast<double>(s));
+    const index_t frame = n * n;
+    for (index_t i = 0; i < frame; ++i) {
+      series.u1[s * frame + i] = static_cast<float>(u1n[i]);
+      series.u2[s * frame + i] = static_cast<float>(u2n[i]);
+      series.omega[s * frame + i] = static_cast<float>(omega[i]);
+    }
+  }
+  return series;
+}
+
+TurbulenceDataset generate_ensemble(const GeneratorConfig& config,
+                                    index_t n_samples) {
+  TURB_CHECK(n_samples >= 1);
+  TurbulenceDataset dataset;
+  dataset.dt_tc = config.dt_tc;
+  dataset.samples.reserve(static_cast<std::size_t>(n_samples));
+  for (index_t s = 0; s < n_samples; ++s) {
+    dataset.samples.push_back(
+        generate_sample(config, static_cast<std::uint64_t>(s)));
+  }
+  return dataset;
+}
+
+}  // namespace turb::data

@@ -1,0 +1,92 @@
+#include <cstdint>
+#include <fstream>
+
+#include "data/dataset.hpp"
+#include "util/common.hpp"
+
+namespace turb::data {
+
+namespace {
+
+constexpr char kMagic[4] = {'T', 'D', 'S', '1'};
+
+template <typename T>
+void write_pod(std::ofstream& os, T v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::ifstream& is) {
+  T v{};
+  is.read(reinterpret_cast<char*>(&v), sizeof(T));
+  TURB_CHECK_MSG(is.good(), "truncated dataset file");
+  return v;
+}
+
+void write_tensor(std::ofstream& os, const TensorF& t) {
+  os.write(reinterpret_cast<const char*>(t.data()),
+           static_cast<std::streamsize>(t.size() * sizeof(float)));
+}
+
+TensorF read_tensor(std::ifstream& is, Shape shape) {
+  TensorF t(std::move(shape));
+  is.read(reinterpret_cast<char*>(t.data()),
+          static_cast<std::streamsize>(t.size() * sizeof(float)));
+  TURB_CHECK_MSG(is.good(), "truncated dataset payload");
+  return t;
+}
+
+}  // namespace
+
+void save_dataset(const std::string& path, const TurbulenceDataset& dataset) {
+  TURB_CHECK(dataset.num_samples() >= 1);
+  std::ofstream os(path, std::ios::binary);
+  TURB_CHECK_MSG(os.good(), "cannot open " << path << " for writing");
+  os.write(kMagic, 4);
+  write_pod<double>(os, dataset.dt_tc);
+  write_pod<std::int64_t>(os, dataset.num_samples());
+  const SnapshotSeries& first = dataset.samples.front();
+  write_pod<std::int64_t>(os, first.steps());
+  write_pod<std::int64_t>(os, first.height());
+  write_pod<std::int64_t>(os, first.width());
+  for (const SnapshotSeries& s : dataset.samples) {
+    TURB_CHECK_MSG(s.steps() == first.steps() &&
+                       s.height() == first.height() &&
+                       s.width() == first.width(),
+                   "inhomogeneous ensemble");
+    for (const double t : s.times) write_pod<double>(os, t);
+    write_tensor(os, s.u1);
+    write_tensor(os, s.u2);
+    write_tensor(os, s.omega);
+  }
+  TURB_CHECK_MSG(os.good(), "write failed for " << path);
+}
+
+TurbulenceDataset load_dataset(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  TURB_CHECK_MSG(is.good(), "cannot open " << path);
+  char magic[4];
+  is.read(magic, 4);
+  TURB_CHECK_MSG(is.good() && std::equal(magic, magic + 4, kMagic),
+                 path << " is not a TDS1 dataset");
+  TurbulenceDataset dataset;
+  dataset.dt_tc = read_pod<double>(is);
+  const auto n_samples = read_pod<std::int64_t>(is);
+  const auto steps = read_pod<std::int64_t>(is);
+  const auto h = read_pod<std::int64_t>(is);
+  const auto w = read_pod<std::int64_t>(is);
+  TURB_CHECK(n_samples >= 1 && steps >= 1 && h >= 1 && w >= 1);
+  dataset.samples.reserve(static_cast<std::size_t>(n_samples));
+  for (std::int64_t s = 0; s < n_samples; ++s) {
+    SnapshotSeries series;
+    series.times.resize(static_cast<std::size_t>(steps));
+    for (auto& t : series.times) t = read_pod<double>(is);
+    series.u1 = read_tensor(is, {steps, h, w});
+    series.u2 = read_tensor(is, {steps, h, w});
+    series.omega = read_tensor(is, {steps, h, w});
+    dataset.samples.push_back(std::move(series));
+  }
+  return dataset;
+}
+
+}  // namespace turb::data

@@ -1,0 +1,144 @@
+#include "data/windows.hpp"
+
+#include <algorithm>
+
+namespace turb::data {
+
+namespace {
+
+const TensorF& select_field(const SnapshotSeries& series, Field field) {
+  switch (field) {
+    case Field::kU1:
+      return series.u1;
+    case Field::kU2:
+      return series.u2;
+    case Field::kOmega:
+      break;
+  }
+  return series.omega;
+}
+
+struct WindowRef {
+  index_t sample;
+  index_t start;
+  Field field;
+};
+
+/// Enumerate window start positions across the ensemble, round-robin over
+/// samples so a `max_windows` cap draws evenly from every trajectory.
+std::vector<WindowRef> enumerate_windows(const TurbulenceDataset& dataset,
+                                         const std::vector<Field>& fields,
+                                         index_t window, index_t stride,
+                                         index_t max_windows) {
+  TURB_CHECK(dataset.num_samples() >= 1);
+  TURB_CHECK(stride >= 1);
+  std::vector<WindowRef> refs;
+  const index_t steps = dataset.samples.front().steps();
+  TURB_CHECK_MSG(steps >= window,
+                 "trajectories too short for window " << window);
+  const index_t per_sample = (steps - window) / stride + 1;
+  for (index_t w = 0; w < per_sample; ++w) {
+    for (index_t s = 0; s < dataset.num_samples(); ++s) {
+      for (const Field f : fields) {
+        refs.push_back({s, w * stride, f});
+      }
+    }
+  }
+  if (max_windows > 0 && static_cast<index_t>(refs.size()) > max_windows) {
+    refs.resize(static_cast<std::size_t>(max_windows));
+  }
+  return refs;
+}
+
+void fill_windows(const TurbulenceDataset& dataset,
+                  const std::vector<WindowRef>& refs, index_t in_channels,
+                  index_t out_channels, TensorF& inputs, TensorF& targets) {
+  const index_t h = dataset.samples.front().height();
+  const index_t w = dataset.samples.front().width();
+  const index_t frame = h * w;
+  const auto n = static_cast<index_t>(refs.size());
+  inputs = TensorF({n, in_channels, h, w});
+  targets = TensorF({n, out_channels, h, w});
+  for (index_t r = 0; r < n; ++r) {
+    const WindowRef& ref = refs[static_cast<std::size_t>(r)];
+    const TensorF& src = select_field(dataset.samples[static_cast<std::size_t>(ref.sample)], ref.field);
+    std::copy_n(src.data() + ref.start * frame, in_channels * frame,
+                inputs.data() + r * in_channels * frame);
+    std::copy_n(src.data() + (ref.start + in_channels) * frame,
+                out_channels * frame,
+                targets.data() + r * out_channels * frame);
+  }
+}
+
+}  // namespace
+
+void make_channel_windows(const TurbulenceDataset& dataset, Field field,
+                          const WindowSpec& spec, TensorF& inputs,
+                          TensorF& targets) {
+  TURB_CHECK(spec.in_channels >= 1 && spec.out_channels >= 1);
+  const auto refs = enumerate_windows(
+      dataset, {field}, spec.in_channels + spec.out_channels, spec.stride,
+      spec.max_windows);
+  fill_windows(dataset, refs, spec.in_channels, spec.out_channels, inputs,
+               targets);
+}
+
+void make_velocity_channel_windows(const TurbulenceDataset& dataset,
+                                   const WindowSpec& spec, TensorF& inputs,
+                                   TensorF& targets) {
+  TURB_CHECK(spec.in_channels >= 1 && spec.out_channels >= 1);
+  const auto refs = enumerate_windows(
+      dataset, {Field::kU1, Field::kU2},
+      spec.in_channels + spec.out_channels, spec.stride, spec.max_windows);
+  fill_windows(dataset, refs, spec.in_channels, spec.out_channels, inputs,
+               targets);
+}
+
+void make_velocity_pair_windows(const TurbulenceDataset& dataset,
+                                const WindowSpec& spec, TensorF& inputs,
+                                TensorF& targets) {
+  TURB_CHECK(spec.in_channels >= 1 && spec.out_channels >= 1);
+  const auto refs = enumerate_windows(
+      dataset, {Field::kU1}, spec.in_channels + spec.out_channels,
+      spec.stride, spec.max_windows);
+
+  const index_t h = dataset.samples.front().height();
+  const index_t w = dataset.samples.front().width();
+  const index_t frame = h * w;
+  const auto n = static_cast<index_t>(refs.size());
+  const index_t cin = spec.in_channels, cout = spec.out_channels;
+  inputs = TensorF({n, 2 * cin, h, w});
+  targets = TensorF({n, 2 * cout, h, w});
+  for (index_t r = 0; r < n; ++r) {
+    const auto& ref = refs[static_cast<std::size_t>(r)];
+    const SnapshotSeries& series =
+        dataset.samples[static_cast<std::size_t>(ref.sample)];
+    // u1 block then u2 block, identical instants.
+    std::copy_n(series.u1.data() + ref.start * frame, cin * frame,
+                inputs.data() + r * 2 * cin * frame);
+    std::copy_n(series.u2.data() + ref.start * frame, cin * frame,
+                inputs.data() + (r * 2 * cin + cin) * frame);
+    std::copy_n(series.u1.data() + (ref.start + cin) * frame, cout * frame,
+                targets.data() + r * 2 * cout * frame);
+    std::copy_n(series.u2.data() + (ref.start + cin) * frame, cout * frame,
+                targets.data() + (r * 2 * cout + cout) * frame);
+  }
+}
+
+void make_block_windows(const TurbulenceDataset& dataset, Field field,
+                        index_t block, TensorF& inputs, TensorF& targets,
+                        index_t max_windows) {
+  TURB_CHECK(block >= 2);
+  const auto refs =
+      enumerate_windows(dataset, {field}, 2 * block, block, max_windows);
+  TensorF in4, out4;
+  fill_windows(dataset, refs, block, block, in4, out4);
+  // Reshape (n, block, H, W) → (n, 1, block, H, W).
+  const index_t n = in4.dim(0), h = in4.dim(2), w = in4.dim(3);
+  in4.reshape({n, 1, block, h, w});
+  out4.reshape({n, 1, block, h, w});
+  inputs = std::move(in4);
+  targets = std::move(out4);
+}
+
+}  // namespace turb::data

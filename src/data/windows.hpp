@@ -1,0 +1,54 @@
+// Sliding-window extraction: turn trajectories into (input, target) training
+// pairs for the "2D FNO with temporal channels" and 3D FNO model families.
+//
+// The paper trains all channel counts on *equal data volume*: a model with
+// fewer output channels sees more windows extracted from the same
+// trajectories (§VI-A). `make_channel_windows` implements exactly that —
+// the caller bounds the data volume via `max_windows`, and the stride-1
+// window extraction naturally yields more pairs when in+out is smaller.
+#pragma once
+
+#include "data/dataset.hpp"
+#include "nn/dataloader.hpp"
+
+namespace turb::data {
+
+/// Which field the windows are built from.
+enum class Field { kU1, kU2, kOmega };
+
+struct WindowSpec {
+  index_t in_channels = 10;
+  index_t out_channels = 5;
+  index_t stride = 1;       ///< start-index stride between windows
+  index_t max_windows = 0;  ///< 0 = unlimited (bounds total data volume)
+};
+
+/// Extract (X, Y) pairs from every sample of a data set:
+///   X: (n_windows, in_channels, H, W), Y: (n_windows, out_channels, H, W).
+/// Windows are chronological: X covers snapshots [s, s+in), Y covers
+/// [s+in, s+in+out).
+void make_channel_windows(const TurbulenceDataset& dataset, Field field,
+                          const WindowSpec& spec, TensorF& inputs,
+                          TensorF& targets);
+
+/// Extract consecutive block pairs for the 3D FNO: X and Y are both
+/// (n_windows, 1, block, H, W); Y is the block immediately after X.
+void make_block_windows(const TurbulenceDataset& dataset, Field field,
+                        index_t block, TensorF& inputs, TensorF& targets,
+                        index_t max_windows = 0);
+
+/// Velocity windows with both components folded into the sample axis
+/// (one operator serves u₁ and u₂, matching the paper's channel counts).
+void make_velocity_channel_windows(const TurbulenceDataset& dataset,
+                                   const WindowSpec& spec, TensorF& inputs,
+                                   TensorF& targets);
+
+/// Velocity-pair windows: X is (n, 2·in, H, W) holding `in` chronological u₁
+/// snapshots followed by `in` u₂ snapshots (same instants); Y likewise with
+/// `out`. This layout lets the physics-informed loss evaluate ∇·u on each
+/// predicted instant (see nn/physics_loss.hpp).
+void make_velocity_pair_windows(const TurbulenceDataset& dataset,
+                                const WindowSpec& spec, TensorF& inputs,
+                                TensorF& targets);
+
+}  // namespace turb::data

@@ -1,0 +1,19 @@
+// Anchor translation unit for the header-only FFT module; instantiates the
+// common plan types once so every other TU links against these symbols
+// instead of re-instantiating them.
+#include "fft/fftnd.hpp"
+
+namespace turb::fft {
+
+template class PlanC2C<float>;
+template class PlanC2C<double>;
+
+template Tensor<std::complex<float>> rfftn<float>(const Tensor<float>&, int);
+template Tensor<std::complex<double>> rfftn<double>(const Tensor<double>&,
+                                                    int);
+template Tensor<float> irfftn<float>(const Tensor<std::complex<float>>&, int,
+                                     index_t);
+template Tensor<double> irfftn<double>(const Tensor<std::complex<double>>&,
+                                       int, index_t);
+
+}  // namespace turb::fft

@@ -1,0 +1,111 @@
+// Batched N-dimensional transforms over the trailing axes of a Tensor.
+//
+// rfftn/irfftn transform the trailing `ndim` axes (real last axis, complex
+// for the rest), which is exactly the layout the FNO spectral convolutions
+// need: (batch, channels, spatial...) with the transform applied per
+// batch/channel slab. Lines are processed in parallel on the global thread
+// pool.
+#pragma once
+
+#include <complex>
+#include <vector>
+
+#include "fft/plan_cache.hpp"
+#include "fft/real.hpp"
+#include "tensor/tensor.hpp"
+#include "util/thread_pool.hpp"
+
+namespace turb::fft {
+
+/// In-place complex FFT along `axis` over every line of the tensor.
+template <typename T>
+void c2c_axis(Tensor<std::complex<T>>& x, std::size_t axis, bool forward) {
+  using cpx = std::complex<T>;
+  TURB_CHECK(axis < x.rank());
+  const Shape& shape = x.shape();
+  const index_t n = shape[axis];
+  if (n == 1) return;
+  index_t outer = 1, inner = 1;
+  for (std::size_t i = 0; i < axis; ++i) outer *= shape[i];
+  for (std::size_t i = axis + 1; i < shape.size(); ++i) inner *= shape[i];
+
+  const PlanC2C<T>& p = plan<T>(n);
+  cpx* data = x.data();
+
+  if (inner == 1) {
+    parallel_for(0, outer, [&](index_t o) {
+      cpx* line = data + o * n;
+      forward ? p.forward(line) : p.inverse(line);
+    });
+    return;
+  }
+
+  parallel_for(0, outer * inner, [&](index_t t) {
+    const index_t o = t / inner;
+    const index_t i = t % inner;
+    cpx* base = data + o * n * inner + i;
+    thread_local std::vector<cpx> line;
+    line.resize(static_cast<std::size_t>(n));
+    for (index_t j = 0; j < n; ++j) line[static_cast<std::size_t>(j)] = base[j * inner];
+    forward ? p.forward(line.data()) : p.inverse(line.data());
+    for (index_t j = 0; j < n; ++j) base[j * inner] = line[static_cast<std::size_t>(j)];
+  });
+}
+
+/// Real-to-complex transform of the trailing `ndim` axes.
+/// Input shape (..., S1, ..., Sd) → output (..., S1, ..., Sd/2+1).
+template <typename T>
+Tensor<std::complex<T>> rfftn(const Tensor<T>& x, int ndim) {
+  using cpx = std::complex<T>;
+  TURB_CHECK(ndim >= 1 && static_cast<std::size_t>(ndim) <= x.rank());
+  const Shape& in_shape = x.shape();
+  const std::size_t rank = in_shape.size();
+  const index_t n_last = in_shape[rank - 1];
+  Shape out_shape = in_shape;
+  out_shape[rank - 1] = n_last / 2 + 1;
+
+  Tensor<cpx> out(out_shape);
+  const index_t rows = numel(in_shape) / n_last;
+  const index_t out_row = out_shape[rank - 1];
+  const T* in_data = x.data();
+  cpx* out_data = out.data();
+  parallel_for(0, rows, [&](index_t r) {
+    rfft(in_data + r * n_last, out_data + r * out_row, n_last);
+  });
+
+  // Remaining (complex) transform axes, innermost-first order is arbitrary.
+  for (int d = 1; d < ndim; ++d) {
+    c2c_axis(out, rank - 1 - static_cast<std::size_t>(d), /*forward=*/true);
+  }
+  return out;
+}
+
+/// Inverse of rfftn. `n_last` is the original size of the last axis (it is
+/// not recoverable from the truncated spectrum alone).
+template <typename T>
+Tensor<T> irfftn(const Tensor<std::complex<T>>& x, int ndim, index_t n_last) {
+  using cpx = std::complex<T>;
+  TURB_CHECK(ndim >= 1 && static_cast<std::size_t>(ndim) <= x.rank());
+  const std::size_t rank = x.rank();
+  TURB_CHECK_MSG(x.shape()[rank - 1] == n_last / 2 + 1,
+                 "spectrum last-axis size inconsistent with n_last");
+
+  Tensor<cpx> work = x;  // inverse c2c axes run on a copy
+  for (int d = ndim - 1; d >= 1; --d) {
+    c2c_axis(work, rank - 1 - static_cast<std::size_t>(d), /*forward=*/false);
+  }
+
+  Shape out_shape = x.shape();
+  out_shape[rank - 1] = n_last;
+  Tensor<T> out(out_shape);
+  const index_t in_row = work.shape()[rank - 1];
+  const index_t rows = numel(out_shape) / n_last;
+  const cpx* in_data = work.data();
+  T* out_data = out.data();
+  parallel_for(0, rows, [&](index_t r) {
+    irfft(in_data + r * in_row, out_data + r * n_last, n_last);
+  });
+  return out;
+}
+
+}  // namespace turb::fft

@@ -1,0 +1,170 @@
+// Complex-to-complex FFT plans.
+//
+// Power-of-two lengths use an iterative radix-2 Cooley–Tukey transform with
+// precomputed bit-reversal and twiddle tables. Arbitrary lengths fall back to
+// Bluestein's chirp-z algorithm (needed for the length-10 temporal axis of
+// the 3D FNO). Twiddles are always computed in double precision.
+//
+// Normalisation convention (NumPy/PyTorch): forward is unscaled, inverse
+// divides by n.
+#pragma once
+
+#include <cmath>
+#include <complex>
+#include <memory>
+#include <numbers>
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace turb::fft {
+
+inline bool is_pow2(index_t n) { return n > 0 && (n & (n - 1)) == 0; }
+
+inline index_t next_pow2(index_t n) {
+  index_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+template <typename T>
+class PlanC2C {
+ public:
+  using cpx = std::complex<T>;
+
+  explicit PlanC2C(index_t n) : n_(n) {
+    TURB_CHECK_MSG(n >= 1, "FFT length must be positive");
+    if (is_pow2(n_)) {
+      init_radix2();
+    } else {
+      init_bluestein();
+    }
+  }
+
+  [[nodiscard]] index_t size() const { return n_; }
+
+  /// In-place forward DFT (unscaled): X_k = sum_j x_j e^{-2πijk/n}.
+  void forward(cpx* x) const { execute(x, /*inverse=*/false); }
+
+  /// In-place inverse DFT (scaled by 1/n).
+  void inverse(cpx* x) const { execute(x, /*inverse=*/true); }
+
+ private:
+  void init_radix2() {
+    // Bit-reversal permutation table.
+    bitrev_.resize(static_cast<std::size_t>(n_));
+    int log2n = 0;
+    while ((index_t{1} << log2n) < n_) ++log2n;
+    for (index_t i = 0; i < n_; ++i) {
+      index_t r = 0;
+      for (int b = 0; b < log2n; ++b) {
+        r |= ((i >> b) & 1) << (log2n - 1 - b);
+      }
+      bitrev_[static_cast<std::size_t>(i)] = r;
+    }
+    // Twiddle table tw[k] = exp(-2πik/n), k < n/2.
+    twiddle_.resize(static_cast<std::size_t>(n_ / 2));
+    for (index_t k = 0; k < n_ / 2; ++k) {
+      const double ang = -2.0 * std::numbers::pi * static_cast<double>(k) /
+                         static_cast<double>(n_);
+      twiddle_[static_cast<std::size_t>(k)] =
+          cpx(static_cast<T>(std::cos(ang)), static_cast<T>(std::sin(ang)));
+    }
+  }
+
+  void init_bluestein() {
+    m_ = next_pow2(2 * n_ - 1);
+    sub_ = std::make_unique<PlanC2C>(m_);
+    chirp_.resize(static_cast<std::size_t>(n_));
+    // chirp_k = exp(-iπ k²/n); reduce k² mod 2n in exact integer arithmetic
+    // so the angle stays small and accurate for large n.
+    for (index_t k = 0; k < n_; ++k) {
+      const index_t k2 = (k * k) % (2 * n_);
+      const double ang = -std::numbers::pi * static_cast<double>(k2) /
+                         static_cast<double>(n_);
+      chirp_[static_cast<std::size_t>(k)] =
+          cpx(static_cast<T>(std::cos(ang)), static_cast<T>(std::sin(ang)));
+    }
+    // bf_ = FFT_m(b) with b_k = conj(chirp_k) arranged circularly.
+    bf_.assign(static_cast<std::size_t>(m_), cpx{});
+    bf_[0] = std::conj(chirp_[0]);
+    for (index_t k = 1; k < n_; ++k) {
+      const cpx v = std::conj(chirp_[static_cast<std::size_t>(k)]);
+      bf_[static_cast<std::size_t>(k)] = v;
+      bf_[static_cast<std::size_t>(m_ - k)] = v;
+    }
+    sub_->forward(bf_.data());
+  }
+
+  void execute(cpx* x, bool inverse) const {
+    if (sub_ == nullptr) {
+      radix2(x, inverse);
+      if (inverse) {
+        const T scale = T{1} / static_cast<T>(n_);
+        for (index_t i = 0; i < n_; ++i) x[i] *= scale;
+      }
+    } else {
+      if (inverse) {
+        for (index_t i = 0; i < n_; ++i) x[i] = std::conj(x[i]);
+        bluestein_forward(x);
+        const T scale = T{1} / static_cast<T>(n_);
+        for (index_t i = 0; i < n_; ++i) x[i] = std::conj(x[i]) * scale;
+      } else {
+        bluestein_forward(x);
+      }
+    }
+  }
+
+  void radix2(cpx* x, bool inverse) const {
+    // Permute.
+    for (index_t i = 0; i < n_; ++i) {
+      const index_t r = bitrev_[static_cast<std::size_t>(i)];
+      if (i < r) std::swap(x[i], x[r]);
+    }
+    // Butterflies.
+    for (index_t len = 2; len <= n_; len <<= 1) {
+      const index_t half = len / 2;
+      const index_t step = n_ / len;
+      for (index_t base = 0; base < n_; base += len) {
+        for (index_t j = 0; j < half; ++j) {
+          cpx w = twiddle_[static_cast<std::size_t>(j * step)];
+          if (inverse) w = std::conj(w);
+          const cpx u = x[base + j];
+          const cpx v = x[base + j + half] * w;
+          x[base + j] = u + v;
+          x[base + j + half] = u - v;
+        }
+      }
+    }
+  }
+
+  void bluestein_forward(cpx* x) const {
+    thread_local std::vector<cpx> scratch;
+    scratch.assign(static_cast<std::size_t>(m_), cpx{});
+    for (index_t k = 0; k < n_; ++k) {
+      scratch[static_cast<std::size_t>(k)] =
+          x[k] * chirp_[static_cast<std::size_t>(k)];
+    }
+    sub_->forward(scratch.data());
+    for (index_t k = 0; k < m_; ++k) {
+      scratch[static_cast<std::size_t>(k)] *= bf_[static_cast<std::size_t>(k)];
+    }
+    sub_->inverse(scratch.data());
+    for (index_t k = 0; k < n_; ++k) {
+      x[k] = scratch[static_cast<std::size_t>(k)] *
+             chirp_[static_cast<std::size_t>(k)];
+    }
+  }
+
+  index_t n_;
+  // Radix-2 state.
+  std::vector<index_t> bitrev_;
+  std::vector<cpx> twiddle_;
+  // Bluestein state (null sub_ means radix-2 path).
+  index_t m_ = 0;
+  std::unique_ptr<PlanC2C> sub_;
+  std::vector<cpx> chirp_;
+  std::vector<cpx> bf_;
+};
+
+}  // namespace turb::fft

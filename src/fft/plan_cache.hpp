@@ -1,0 +1,26 @@
+// Process-wide cache of FFT plans keyed by transform length.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "fft/plan.hpp"
+
+namespace turb::fft {
+
+/// Return a cached plan for length n (thread-safe; plans are immutable after
+/// construction and live for the process lifetime).
+template <typename T>
+const PlanC2C<T>& plan(index_t n) {
+  static std::map<index_t, std::unique_ptr<PlanC2C<T>>> cache;
+  static std::mutex mutex;
+  std::lock_guard lock(mutex);
+  auto it = cache.find(n);
+  if (it == cache.end()) {
+    it = cache.emplace(n, std::make_unique<PlanC2C<T>>(n)).first;
+  }
+  return *it->second;
+}
+
+}  // namespace turb::fft

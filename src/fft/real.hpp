@@ -1,0 +1,78 @@
+// Real ↔ complex 1-D transforms via the half-length complex FFT trick.
+//
+// rfft maps n reals to n/2+1 complex coefficients (non-negative
+// frequencies); irfft inverts with the 1/n normalisation so that
+// irfft(rfft(x)) == x. Lengths must be even (all grids and the temporal
+// window length used in this library are even).
+#pragma once
+
+#include <complex>
+#include <vector>
+
+#include "fft/plan_cache.hpp"
+#include "util/common.hpp"
+
+namespace turb::fft {
+
+/// Forward real-to-complex DFT. `out` must hold n/2+1 elements.
+template <typename T>
+void rfft(const T* in, std::complex<T>* out, index_t n) {
+  using cpx = std::complex<T>;
+  TURB_CHECK_MSG(n >= 2 && n % 2 == 0, "rfft length must be even, got " << n);
+  const index_t h = n / 2;
+  thread_local std::vector<cpx> z;
+  z.resize(static_cast<std::size_t>(h));
+  for (index_t k = 0; k < h; ++k) {
+    z[static_cast<std::size_t>(k)] = cpx(in[2 * k], in[2 * k + 1]);
+  }
+  plan<T>(h).forward(z.data());
+
+  for (index_t k = 0; k <= h; ++k) {
+    const cpx zk = z[static_cast<std::size_t>(k % h)];
+    const cpx zc = std::conj(z[static_cast<std::size_t>((h - k) % h)]);
+    const cpx e = (zk + zc) * T{0.5};
+    // O_k = (zk - zc) / (2i) = -i/2 * (zk - zc)
+    const cpx d = zk - zc;
+    const cpx o(T{0.5} * d.imag(), T{-0.5} * d.real());
+    const double ang = -2.0 * std::numbers::pi * static_cast<double>(k) /
+                       static_cast<double>(n);
+    const cpx w(static_cast<T>(std::cos(ang)), static_cast<T>(std::sin(ang)));
+    out[k] = e + w * o;
+  }
+}
+
+/// Inverse complex-to-real DFT (1/n scaling). `in` holds n/2+1 elements and
+/// is treated as the non-negative-frequency half of a Hermitian spectrum.
+template <typename T>
+void irfft(const std::complex<T>* in, T* out, index_t n) {
+  using cpx = std::complex<T>;
+  TURB_CHECK_MSG(n >= 2 && n % 2 == 0, "irfft length must be even, got " << n);
+  const index_t h = n / 2;
+  thread_local std::vector<cpx> z;
+  z.resize(static_cast<std::size_t>(h));
+  for (index_t k = 0; k < h; ++k) {
+    // The DC and Nyquist coefficients of a real signal are real; like cuFFT's
+    // C2R, ignore any imaginary part there so the transform is exactly the
+    // Hermitian-symmetric inverse (this makes the spectral-conv backward pass
+    // an exact adjoint even when upstream produces non-Hermitian spectra).
+    const cpx xk = (k == 0) ? cpx(in[0].real(), T{}) : in[k];
+    const cpx xc = (k == 0) ? cpx(in[h].real(), T{})
+                            : std::conj(in[h - k]);
+    const cpx e = (xk + xc) * T{0.5};
+    const cpx d = (xk - xc) * T{0.5};
+    const double ang = 2.0 * std::numbers::pi * static_cast<double>(k) /
+                       static_cast<double>(n);
+    const cpx w(static_cast<T>(std::cos(ang)), static_cast<T>(std::sin(ang)));
+    const cpx o = d * w;
+    // Z_k = E_k + i O_k
+    z[static_cast<std::size_t>(k)] =
+        cpx(e.real() - o.imag(), e.imag() + o.real());
+  }
+  plan<T>(h).inverse(z.data());
+  for (index_t k = 0; k < h; ++k) {
+    out[2 * k] = z[static_cast<std::size_t>(k)].real();
+    out[2 * k + 1] = z[static_cast<std::size_t>(k)].imag();
+  }
+}
+
+}  // namespace turb::fft

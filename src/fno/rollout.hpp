@@ -1,0 +1,29 @@
+// Iterative (autoregressive) rollout of trained FNO models.
+//
+// The paper evaluates models by rolling predictions forward in time: the 2D
+// channel model consumes a sliding window of `in_channels` snapshots and
+// emits `out_channels` new ones; the 3D model consumes a block of 10
+// snapshots and emits the next block. Fewer output channels means more model
+// invocations per horizon — the source of the "compound error" the paper
+// observes for 1-channel outputs (Fig. 5).
+#pragma once
+
+#include "fno/fno.hpp"
+
+namespace turb::fno {
+
+/// Roll a rank-2 "temporal channels" FNO forward in time.
+///
+/// @param history (C_in, H, W) — the seed window, chronologically ordered
+///                (oldest first). For multi-field models (e.g. u₁ and u₂
+///                stacked), use one rollout per field-model pairing.
+/// @param steps   number of future snapshots to produce.
+/// @return (steps, H, W), chronologically ordered.
+TensorF rollout_channels(Fno& model, const TensorF& history, index_t steps);
+
+/// Roll a rank-3 FNO forward: each call maps a (T, H, W) block to the next
+/// (T, H, W) block; the result is `blocks` consecutive predicted blocks
+/// concatenated along time: (blocks·T, H, W).
+TensorF rollout_3d(Fno& model, const TensorF& seed_block, index_t blocks);
+
+}  // namespace turb::fno

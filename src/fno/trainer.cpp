@@ -1,0 +1,71 @@
+#include "fno/trainer.hpp"
+
+#include <cstdio>
+
+#include "nn/loss.hpp"
+#include "nn/optimizer.hpp"
+#include "util/timer.hpp"
+
+namespace turb::fno {
+
+TrainResult train_fno(Fno& model, nn::DataLoader& loader,
+                      const TrainConfig& config) {
+  nn::Adam::Config adam_cfg;
+  adam_cfg.lr = config.lr;
+  adam_cfg.weight_decay = config.weight_decay;
+  nn::Adam optimizer(model.parameters(), adam_cfg);
+  nn::StepLR scheduler(optimizer, config.scheduler_step,
+                       config.scheduler_gamma);
+
+  TrainResult result;
+  Timer total;
+  for (index_t epoch = 0; epoch < config.epochs; ++epoch) {
+    Timer epoch_timer;
+    loader.start_epoch();
+    nn::Batch batch;
+    double loss_sum = 0.0;
+    index_t batches = 0;
+    while (loader.next(batch)) {
+      optimizer.zero_grad();
+      const TensorF pred = model.forward(batch.x);
+      const nn::LossResult loss = nn::relative_l2_loss(pred, batch.y);
+      (void)model.backward(loss.grad);
+      optimizer.step();
+      loss_sum += loss.value;
+      ++batches;
+    }
+    scheduler.step();
+
+    EpochStats stats;
+    stats.epoch = epoch;
+    stats.train_loss = batches > 0 ? loss_sum / static_cast<double>(batches)
+                                   : 0.0;
+    stats.lr = optimizer.lr();
+    stats.seconds = epoch_timer.seconds();
+    result.history.push_back(stats);
+    if (config.verbose) {
+      std::printf("epoch %3lld  loss %.5f  lr %.2e  %.2fs\n",
+                  static_cast<long long>(epoch), stats.train_loss, stats.lr,
+                  stats.seconds);
+    }
+  }
+  result.total_seconds = total.seconds();
+  return result;
+}
+
+double evaluate_fno(Fno& model, const TensorF& inputs, const TensorF& targets,
+                    index_t batch_size) {
+  nn::DataLoader loader(inputs, targets, batch_size, /*shuffle=*/false);
+  nn::Batch batch;
+  double err_sum = 0.0;
+  index_t count = 0;
+  while (loader.next(batch)) {
+    const TensorF pred = model.forward(batch.x);
+    err_sum += nn::relative_l2_error(pred, batch.y) *
+               static_cast<double>(batch.size());
+    count += batch.size();
+  }
+  return count > 0 ? err_sum / static_cast<double>(count) : 0.0;
+}
+
+}  // namespace turb::fno

@@ -1,0 +1,45 @@
+// Training loop for FNO models (Adam + StepLR + relative-L2 loss), mirroring
+// the reference neuraloperator training scripts the paper used.
+#pragma once
+
+#include <vector>
+
+#include "fno/fno.hpp"
+#include "nn/dataloader.hpp"
+
+namespace turb::fno {
+
+struct TrainConfig {
+  index_t epochs = 50;
+  double lr = 1e-3;             // paper default
+  long scheduler_step = 100;    // paper default
+  double scheduler_gamma = 0.5; // paper default
+  double weight_decay = 1e-4;
+  bool verbose = false;
+};
+
+struct EpochStats {
+  index_t epoch = 0;
+  double train_loss = 0.0;  // mean relative-L2 over training batches
+  double lr = 0.0;
+  double seconds = 0.0;
+};
+
+struct TrainResult {
+  std::vector<EpochStats> history;
+  double total_seconds = 0.0;
+  [[nodiscard]] double final_train_loss() const {
+    return history.empty() ? 0.0 : history.back().train_loss;
+  }
+};
+
+/// Train `model` in place on `loader`. Returns per-epoch statistics.
+TrainResult train_fno(Fno& model, nn::DataLoader& loader,
+                      const TrainConfig& config);
+
+/// Mean relative-L2 error of the model over a held-out set, evaluated in
+/// mini-batches of `batch_size`.
+double evaluate_fno(Fno& model, const TensorF& inputs, const TensorF& targets,
+                    index_t batch_size = 8);
+
+}  // namespace turb::fno

@@ -1,0 +1,27 @@
+// D2Q9 lattice constants.
+//
+// Velocity set ordering: rest, the four axis directions, then diagonals —
+//   0:( 0, 0)  1:( 1, 0)  2:( 0, 1)  3:(-1, 0)  4:( 0,-1)
+//   5:( 1, 1)  6:(-1, 1)  7:(-1,-1)  8:( 1,-1)
+// Lattice units: δx = δt = 1, speed of sound c_s² = 1/3.
+#pragma once
+
+#include <array>
+
+namespace turb::lbm {
+
+inline constexpr int kQ = 9;
+
+inline constexpr std::array<int, kQ> kCx = {0, 1, 0, -1, 0, 1, -1, -1, 1};
+inline constexpr std::array<int, kQ> kCy = {0, 0, 1, 0, -1, 1, 1, -1, -1};
+
+inline constexpr std::array<double, kQ> kWeights = {
+    4.0 / 9.0,  1.0 / 9.0,  1.0 / 9.0,  1.0 / 9.0, 1.0 / 9.0,
+    1.0 / 36.0, 1.0 / 36.0, 1.0 / 36.0, 1.0 / 36.0};
+
+inline constexpr double kCs2 = 1.0 / 3.0;
+
+/// Opposite direction (bounce-back pairing), provided for completeness.
+inline constexpr std::array<int, kQ> kOpposite = {0, 3, 4, 1, 2, 7, 8, 5, 6};
+
+}  // namespace turb::lbm

@@ -1,0 +1,97 @@
+#include "lbm/initializer.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "fft/fftnd.hpp"
+
+namespace turb::lbm {
+
+VelocityField random_uniform_velocity(index_t ny, index_t nx, double amplitude,
+                                      Rng& rng) {
+  VelocityField field{TensorD({ny, nx}), TensorD({ny, nx})};
+  field.u1.fill_uniform(rng, -amplitude, amplitude);
+  field.u2.fill_uniform(rng, -amplitude, amplitude);
+  return field;
+}
+
+VelocityField random_vortex_velocity(index_t ny, index_t nx, double k_peak,
+                                     double u_max, Rng& rng) {
+  TURB_CHECK(k_peak > 0.0 && u_max > 0.0);
+  const index_t nxr = nx / 2 + 1;
+  TensorCD psi({ny, nxr});
+
+  // Signed integer frequency for row index.
+  const auto freq = [](index_t idx, index_t n) {
+    return (idx <= n / 2) ? static_cast<double>(idx)
+                          : static_cast<double>(idx) - static_cast<double>(n);
+  };
+
+  for (index_t iy = 0; iy < ny; ++iy) {
+    for (index_t ix = 0; ix < nxr; ++ix) {
+      // Leave the mean and the sign-ambiguous Nyquist modes empty: the
+      // field stays exactly within the subspace every spectral operator in
+      // this library treats losslessly.
+      if (2 * iy == ny || 2 * ix == nx) continue;
+      const double ky = freq(iy, ny);
+      const double kx = static_cast<double>(ix);
+      const double k = std::sqrt(kx * kx + ky * ky);
+      if (k == 0.0) continue;
+      // Streamfunction amplitude giving E(k) ∝ k⁴ exp(−2(k/k_peak)²):
+      // |û| ~ k|ψ̂| and E ~ |û|² → |ψ̂| ∝ k exp(−(k/k_peak)²).
+      const double amp = k * std::exp(-(k / k_peak) * (k / k_peak));
+      const double phase = rng.uniform(0.0, 2.0 * std::numbers::pi);
+      psi(iy, ix) = std::polar(amp, phase);
+    }
+  }
+  // Hermitian symmetry on the kx = 0 and kx = nx/2 columns so the inverse
+  // transform sees a consistent real-field spectrum.
+  for (index_t iy = 1; iy < ny / 2; ++iy) {
+    psi(ny - iy, index_t{0}) = std::conj(psi(iy, index_t{0}));
+    psi(ny - iy, nxr - 1) = std::conj(psi(iy, nxr - 1));
+  }
+  psi(index_t{0}, index_t{0}) = 0.0;
+  psi(ny / 2, index_t{0}) = psi(ny / 2, index_t{0}).real();
+  psi(index_t{0}, nxr - 1) = psi(index_t{0}, nxr - 1).real();
+  psi(ny / 2, nxr - 1) = psi(ny / 2, nxr - 1).real();
+
+  // u1 = ∂ψ/∂y, u2 = −∂ψ/∂x (spectral derivatives; 2π per box period).
+  TensorCD u1_hat({ny, nxr}), u2_hat({ny, nxr});
+  const double two_pi = 2.0 * std::numbers::pi;
+  for (index_t iy = 0; iy < ny; ++iy) {
+    for (index_t ix = 0; ix < nxr; ++ix) {
+      const std::complex<double> p = psi(iy, ix);
+      const std::complex<double> ik_y(0.0, two_pi * freq(iy, ny));
+      const std::complex<double> ik_x(0.0, two_pi * static_cast<double>(ix));
+      u1_hat(iy, ix) = ik_y * p;
+      u2_hat(iy, ix) = -ik_x * p;
+    }
+  }
+  VelocityField field;
+  field.u1 = fft::irfftn(u1_hat, 2, nx);
+  field.u2 = fft::irfftn(u2_hat, 2, nx);
+
+  const double peak = std::max(field.u1.max_abs(), field.u2.max_abs());
+  TURB_CHECK_MSG(peak > 0.0, "degenerate random field");
+  const double scale = u_max / peak;
+  field.u1 *= scale;
+  field.u2 *= scale;
+  return field;
+}
+
+VelocityField taylor_green_velocity(index_t ny, index_t nx, double u0) {
+  VelocityField field{TensorD({ny, nx}), TensorD({ny, nx})};
+  const double two_pi = 2.0 * std::numbers::pi;
+  for (index_t iy = 0; iy < ny; ++iy) {
+    const double y = two_pi * static_cast<double>(iy) / static_cast<double>(ny);
+    for (index_t ix = 0; ix < nx; ++ix) {
+      const double x =
+          two_pi * static_cast<double>(ix) / static_cast<double>(nx);
+      field.u1(iy, ix) = u0 * std::sin(x) * std::cos(y);
+      field.u2(iy, ix) = -u0 * std::cos(x) * std::sin(y);
+    }
+  }
+  return field;
+}
+
+}  // namespace turb::lbm

@@ -1,0 +1,38 @@
+// Initial velocity fields for the turbulence simulations.
+//
+// The paper initialises each dataset sample "with different uniformly
+// distributed random numbers", lets the flow evolve 0.5 t_c to dissipate the
+// sharp discontinuities, and then starts sampling. We provide that
+// initialiser plus a band-limited solenoidal one (divergence-free by
+// construction — skips the burn-in) and the Taylor–Green vortex used for
+// solver validation.
+#pragma once
+
+#include "tensor/tensor.hpp"
+#include "util/rng.hpp"
+
+namespace turb::lbm {
+
+/// A velocity field pair on a (ny, nx) periodic grid.
+struct VelocityField {
+  TensorD u1;  ///< x-component
+  TensorD u2;  ///< y-component
+};
+
+/// I.i.d. uniform noise on [-amplitude, amplitude] — the paper's initial
+/// condition. Not solenoidal; requires burn-in before use.
+VelocityField random_uniform_velocity(index_t ny, index_t nx, double amplitude,
+                                      Rng& rng);
+
+/// Band-limited random solenoidal field: streamfunction with spectrum
+/// E(k) ∝ k⁴ exp(−2(k/k_peak)²) and random phases, giving several
+/// counter-rotating vortices. Rescaled so max|u| = u_max.
+VelocityField random_vortex_velocity(index_t ny, index_t nx, double k_peak,
+                                     double u_max, Rng& rng);
+
+/// Taylor–Green vortex u = U(sin kx cos ky, −cos kx sin ky) with one period
+/// across the box; kinetic energy decays as exp(−4νk²t) — the analytic
+/// benchmark for viscosity validation.
+VelocityField taylor_green_velocity(index_t ny, index_t nx, double u0);
+
+}  // namespace turb::lbm

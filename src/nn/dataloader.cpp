@@ -1,0 +1,60 @@
+#include "nn/dataloader.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/common.hpp"
+
+namespace turb::nn {
+
+DataLoader::DataLoader(TensorF inputs, TensorF targets, index_t batch_size,
+                       bool shuffle, std::uint64_t seed)
+    : inputs_(std::move(inputs)),
+      targets_(std::move(targets)),
+      batch_size_(batch_size),
+      shuffle_(shuffle),
+      rng_(seed) {
+  TURB_CHECK(inputs_.rank() >= 1 && targets_.rank() >= 1);
+  TURB_CHECK_MSG(inputs_.dim(0) == targets_.dim(0),
+                 "inputs/targets sample counts differ");
+  TURB_CHECK(batch_size_ >= 1);
+  order_.resize(static_cast<std::size_t>(inputs_.dim(0)));
+  std::iota(order_.begin(), order_.end(), index_t{0});
+  start_epoch();
+}
+
+void DataLoader::start_epoch() {
+  cursor_ = 0;
+  if (shuffle_) {
+    // Fisher–Yates with our deterministic RNG.
+    for (std::size_t i = order_.size(); i > 1; --i) {
+      const std::size_t j = static_cast<std::size_t>(rng_.uniform_int(i));
+      std::swap(order_[i - 1], order_[j]);
+    }
+  }
+}
+
+bool DataLoader::next(Batch& out) {
+  const index_t n = num_samples();
+  if (cursor_ >= n) return false;
+  const index_t count = std::min(batch_size_, n - cursor_);
+
+  Shape xs = inputs_.shape();
+  Shape ys = targets_.shape();
+  xs[0] = count;
+  ys[0] = count;
+  out.x = TensorF(xs);
+  out.y = TensorF(ys);
+  const index_t x_per = inputs_.size() / n;
+  const index_t y_per = targets_.size() / n;
+  for (index_t b = 0; b < count; ++b) {
+    const index_t src = order_[static_cast<std::size_t>(cursor_ + b)];
+    std::copy_n(inputs_.data() + src * x_per, x_per, out.x.data() + b * x_per);
+    std::copy_n(targets_.data() + src * y_per, y_per,
+                out.y.data() + b * y_per);
+  }
+  cursor_ += count;
+  return true;
+}
+
+}  // namespace turb::nn

@@ -1,0 +1,50 @@
+// Mini-batch iteration over paired (input, target) tensors.
+#pragma once
+
+#include <vector>
+
+#include "tensor/tensor.hpp"
+#include "util/rng.hpp"
+
+namespace turb::nn {
+
+/// One training pair (copies — batches are assembled gather-style).
+struct Batch {
+  TensorF x;
+  TensorF y;
+  [[nodiscard]] index_t size() const { return x.empty() ? 0 : x.dim(0); }
+};
+
+/// Shuffling mini-batch loader over in-memory tensors whose first axis is the
+/// sample axis.
+class DataLoader {
+ public:
+  DataLoader(TensorF inputs, TensorF targets, index_t batch_size,
+             bool shuffle = true, std::uint64_t seed = 0);
+
+  [[nodiscard]] index_t num_samples() const { return inputs_.dim(0); }
+  [[nodiscard]] index_t num_batches() const {
+    return (num_samples() + batch_size_ - 1) / batch_size_;
+  }
+  [[nodiscard]] index_t batch_size() const { return batch_size_; }
+
+  /// Reset iteration (reshuffles when shuffling is enabled).
+  void start_epoch();
+
+  /// Fetch the next batch; returns false at epoch end.
+  bool next(Batch& out);
+
+  [[nodiscard]] const TensorF& inputs() const { return inputs_; }
+  [[nodiscard]] const TensorF& targets() const { return targets_; }
+
+ private:
+  TensorF inputs_;
+  TensorF targets_;
+  index_t batch_size_;
+  bool shuffle_;
+  Rng rng_;
+  std::vector<index_t> order_;
+  index_t cursor_ = 0;
+};
+
+}  // namespace turb::nn

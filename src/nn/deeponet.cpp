@@ -1,0 +1,150 @@
+#include "nn/deeponet.hpp"
+
+#include "tensor/gemm.hpp"
+#include "util/thread_pool.hpp"
+
+namespace turb::nn {
+
+DeepONet::DeepONet(DeepONetConfig config, Rng& rng)
+    : config_(config),
+      branch1_(config.in_channels * config.height * config.width,
+               config.branch_hidden, rng, true, "branch.0"),
+      branch_act_("branch.act"),
+      branch2_(config.branch_hidden, config.out_channels * config.basis, rng,
+               true, "branch.1"),
+      bias_("output.bias", {config.out_channels}) {
+  TURB_CHECK(config_.trunk_layers >= 2);
+  TURB_CHECK(config_.basis >= 1);
+  // Trunk MLP: 2 → hidden → … → basis.
+  for (index_t l = 0; l < config_.trunk_layers; ++l) {
+    const index_t in = (l == 0) ? 2 : config_.trunk_hidden;
+    const index_t out =
+        (l + 1 == config_.trunk_layers) ? config_.basis : config_.trunk_hidden;
+    trunk_.push_back(std::make_unique<Linear>(
+        in, out, rng, true, "trunk." + std::to_string(l)));
+    if (l + 1 < config_.trunk_layers) {
+      trunk_acts_.push_back(
+          std::make_unique<Gelu>("trunk.act" + std::to_string(l)));
+    }
+  }
+  // Grid coordinates on [0,1)², channel layout (1, 2, H·W).
+  coords_ = TensorF({1, 2, config_.height * config_.width});
+  for (index_t iy = 0; iy < config_.height; ++iy) {
+    for (index_t ix = 0; ix < config_.width; ++ix) {
+      const index_t j = iy * config_.width + ix;
+      coords_[j] = static_cast<float>(ix) / static_cast<float>(config_.width);
+      coords_[config_.height * config_.width + j] =
+          static_cast<float>(iy) / static_cast<float>(config_.height);
+    }
+  }
+}
+
+TensorF DeepONet::trunk_forward() {
+  TensorF h = coords_;
+  for (std::size_t l = 0; l < trunk_.size(); ++l) {
+    h = trunk_[l]->forward(h);
+    if (l < trunk_acts_.size()) h = trunk_acts_[l]->forward(h);
+  }
+  return h;  // (1, basis, H·W)
+}
+
+TensorF DeepONet::forward(const TensorF& x) {
+  TURB_CHECK_MSG(x.rank() == 4 && x.dim(1) == config_.in_channels &&
+                     x.dim(2) == config_.height && x.dim(3) == config_.width,
+                 "deeponet: input must be (N, " << config_.in_channels << ", "
+                                                << config_.height << ", "
+                                                << config_.width << ")");
+  const index_t batch = x.dim(0);
+  const index_t points = config_.height * config_.width;
+  const index_t p = config_.basis;
+  const index_t cout = config_.out_channels;
+
+  // Branch on the flattened window: (N, C_in·H·W, 1).
+  TensorF flat = x;
+  flat.reshape({batch, config_.in_channels * points, 1});
+  branch_out_ = branch2_.forward(branch_act_.forward(branch1_.forward(flat)));
+  trunk_out_ = trunk_forward();
+
+  // y[n, c, j] = Σ_p B[n, c·p̂ + p] · T[p, j] + bias[c]
+  TensorF y({batch, cout, config_.height, config_.width});
+  const float* b = branch_out_.data();
+  const float* t = trunk_out_.data();
+  const float* bias = bias_.value.data();
+  parallel_for(0, batch * cout, [&](index_t nc) {
+    const index_t n = nc / cout;
+    const index_t c = nc % cout;
+    float* yrow = y.data() + nc * points;
+    gemm_nn<float>(1, points, p, 1.0f, b + (n * cout + c) * p, p, t, points,
+                   0.0f, yrow, points);
+    for (index_t j = 0; j < points; ++j) yrow[j] += bias[c];
+  });
+  return y;
+}
+
+TensorF DeepONet::backward(const TensorF& grad_out) {
+  TURB_CHECK_MSG(!branch_out_.empty(), "deeponet: backward before forward");
+  const index_t batch = grad_out.dim(0);
+  const index_t points = config_.height * config_.width;
+  const index_t p = config_.basis;
+  const index_t cout = config_.out_channels;
+  TURB_CHECK(grad_out.size() == batch * cout * points);
+
+  // dB[n,c,:] = dY[n,c,:] · Tᵀ ; dT += Σ_{n,c} B[n,c,:]ᵀ · dY[n,c,:].
+  TensorF grad_branch({batch, cout * p, 1});
+  TensorF grad_trunk({1, p, points});
+  const float* g = grad_out.data();
+  const float* b = branch_out_.data();
+  const float* t = trunk_out_.data();
+  for (index_t nc = 0; nc < batch * cout; ++nc) {
+    const index_t n = nc / cout;
+    const index_t c = nc % cout;
+    // dB row: (1×points)·(points×p) — T stored (p, points) so use nt.
+    gemm_nt<float>(1, p, points, 1.0f, g + nc * points, points, t, points,
+                   0.0f, grad_branch.data() + (n * cout + c) * p, p);
+    // dT: (p×1)·(1×points) accumulate.
+    gemm_nn<float>(p, points, 1, 1.0f, b + (n * cout + c) * p, 1,
+                   g + nc * points, points, 1.0f, grad_trunk.data(), points);
+  }
+  // Bias gradient.
+  float* gb = bias_.grad.data();
+  for (index_t nc = 0; nc < batch * cout; ++nc) {
+    double acc = 0.0;
+    for (index_t j = 0; j < points; ++j) acc += g[nc * points + j];
+    gb[nc % cout] += static_cast<float>(acc);
+  }
+
+  // Backprop through the trunk (input gradient unused — coords are fixed).
+  TensorF gt = grad_trunk;
+  for (std::size_t l = trunk_.size(); l-- > 0;) {
+    if (l < trunk_acts_.size()) gt = trunk_acts_[l]->backward(gt);
+    gt = trunk_[l]->backward(gt);
+  }
+
+  // Backprop through the branch and reshape to the input layout.
+  TensorF gx = branch1_.backward(
+      branch_act_.backward(branch2_.backward(grad_branch)));
+  gx.reshape({batch, config_.in_channels, config_.height, config_.width});
+  return gx;
+}
+
+void DeepONet::collect_parameters(std::vector<Parameter*>& out) {
+  branch1_.collect_parameters(out);
+  branch2_.collect_parameters(out);
+  for (auto& layer : trunk_) layer->collect_parameters(out);
+  out.push_back(&bias_);
+}
+
+index_t deeponet_parameter_count(const DeepONetConfig& c) {
+  const index_t in_dim = c.in_channels * c.height * c.width;
+  index_t total = in_dim * c.branch_hidden + c.branch_hidden;
+  total += c.branch_hidden * (c.out_channels * c.basis) +
+           c.out_channels * c.basis;
+  for (index_t l = 0; l < c.trunk_layers; ++l) {
+    const index_t in = (l == 0) ? 2 : c.trunk_hidden;
+    const index_t out = (l + 1 == c.trunk_layers) ? c.basis : c.trunk_hidden;
+    total += in * out + out;
+  }
+  return total + c.out_channels;
+}
+
+}  // namespace turb::nn

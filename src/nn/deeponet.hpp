@@ -1,0 +1,66 @@
+// DeepONet baseline (Lu et al. 2021, the paper's §II related work).
+//
+// An unstacked DeepONet learns G(a)(y) = Σ_p b_p(a)·t_p(y) + c: a branch
+// MLP encodes the input function (here the flattened window of snapshots)
+// into p coefficients per output channel, a trunk MLP maps grid coordinates
+// to p basis values shared across outputs. Unlike the FNO it is tied to the
+// training grid on the branch side — the comparison bench quantifies the
+// accuracy/cost trade against the FNO on identical data.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "nn/activation.hpp"
+#include "nn/linear.hpp"
+#include "nn/module.hpp"
+
+namespace turb::nn {
+
+struct DeepONetConfig {
+  index_t in_channels = 10;
+  index_t out_channels = 5;
+  index_t height = 32;          ///< training grid (branch input is flattened)
+  index_t width = 32;
+  index_t basis = 64;           ///< p, number of branch/trunk basis pairs
+  index_t branch_hidden = 128;  ///< branch MLP hidden width
+  index_t trunk_hidden = 64;    ///< trunk MLP hidden width
+  index_t trunk_layers = 3;     ///< trunk depth (≥ 2)
+};
+
+class DeepONet : public Module {
+ public:
+  DeepONet(DeepONetConfig config, Rng& rng);
+
+  /// x: (N, C_in, H, W) → (N, C_out, H, W).
+  TensorF forward(const TensorF& x) override;
+  TensorF backward(const TensorF& grad_out) override;
+  void collect_parameters(std::vector<Parameter*>& out) override;
+  [[nodiscard]] std::string name() const override { return "deeponet"; }
+
+  [[nodiscard]] const DeepONetConfig& config() const { return config_; }
+
+ private:
+  /// Trunk features for every grid point: (1, basis, H·W).
+  TensorF trunk_forward();
+  TensorF coords_;  // (1, 2, H·W) normalised grid coordinates
+
+  DeepONetConfig config_;
+  // Branch: flatten(C_in·H·W) → hidden → C_out·basis.
+  Linear branch1_;
+  Gelu branch_act_;
+  Linear branch2_;
+  // Trunk: (x, y) → hidden… → basis.
+  std::vector<std::unique_ptr<Linear>> trunk_;
+  std::vector<std::unique_ptr<Gelu>> trunk_acts_;
+  Parameter bias_;  // per output channel
+
+  // Cached activations.
+  TensorF branch_out_;  // (N, C_out·basis, 1)
+  TensorF trunk_out_;   // (1, basis, H·W)
+};
+
+/// Closed-form trainable parameter count.
+index_t deeponet_parameter_count(const DeepONetConfig& config);
+
+}  // namespace turb::nn

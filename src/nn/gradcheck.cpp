@@ -1,0 +1,103 @@
+#include "nn/gradcheck.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace turb::nn {
+
+namespace {
+
+/// 0.5‖y − y₀‖², accumulated in double.
+double half_sq_diff(const TensorF& y, const TensorF& y0) {
+  double acc = 0.0;
+  for (index_t i = 0; i < y.size(); ++i) {
+    const double d = static_cast<double>(y[i]) - y0[i];
+    acc += d * d;
+  }
+  return 0.5 * acc;
+}
+
+TensorF loss_grad(const TensorF& y, const TensorF& y0) {
+  TensorF g(y.shape());
+  for (index_t i = 0; i < y.size(); ++i) g[i] = y[i] - y0[i];
+  return g;
+}
+
+void update(GradcheckResult& res, double analytic, double numeric,
+            double tensor_scale) {
+  const double abs_err = std::abs(analytic - numeric);
+  // Relative to the coordinate itself, floored by a fraction of the whole
+  // gradient's magnitude: float32 central differences cannot resolve entries
+  // far below the tensor's typical gradient scale, while systematic adjoint
+  // bugs (missing conjugate, wrong scale) corrupt the large entries too.
+  const double denom = std::max(
+      {std::abs(analytic), std::abs(numeric), 0.05 * tensor_scale, 1e-4});
+  res.max_abs_error = std::max(res.max_abs_error, abs_err);
+  res.max_rel_error = std::max(res.max_rel_error, abs_err / denom);
+  ++res.checked;
+}
+
+}  // namespace
+
+GradcheckResult gradcheck_input(Module& module, const TensorF& x,
+                                index_t probes, float eps,
+                                std::uint64_t seed) {
+  Rng rng(seed);
+  TensorF y = module.forward(x);
+  TensorF y0(y.shape());
+  y0.fill_normal(rng, 0.0, 1.0);
+
+  module.zero_grad();
+  const TensorF analytic = module.backward(loss_grad(y, y0));
+
+  GradcheckResult res;
+  const double scale = analytic.max_abs();
+  TensorF xp = x;
+  for (index_t probe = 0; probe < std::min<index_t>(probes, x.size());
+       ++probe) {
+    const index_t i =
+        static_cast<index_t>(rng.uniform_int(static_cast<std::uint64_t>(x.size())));
+    const float orig = xp[i];
+    xp[i] = orig + eps;
+    const double lp = half_sq_diff(module.forward(xp), y0);
+    xp[i] = orig - eps;
+    const double lm = half_sq_diff(module.forward(xp), y0);
+    xp[i] = orig;
+    update(res, analytic[i], (lp - lm) / (2.0 * eps), scale);
+  }
+  return res;
+}
+
+GradcheckResult gradcheck_parameters(Module& module, const TensorF& x,
+                                     index_t probes, float eps,
+                                     std::uint64_t seed) {
+  Rng rng(seed);
+  TensorF y = module.forward(x);
+  TensorF y0(y.shape());
+  y0.fill_normal(rng, 0.0, 1.0);
+
+  module.zero_grad();
+  (void)module.backward(loss_grad(y, y0));
+
+  GradcheckResult res;
+  for (Parameter* p : module.parameters()) {
+    const double scale = p->grad.max_abs();
+    for (index_t probe = 0; probe < std::min<index_t>(probes, p->size());
+         ++probe) {
+      const index_t i = static_cast<index_t>(
+          rng.uniform_int(static_cast<std::uint64_t>(p->size())));
+      const float orig = p->value[i];
+      p->value[i] = orig + eps;
+      const double lp = half_sq_diff(module.forward(x), y0);
+      p->value[i] = orig - eps;
+      const double lm = half_sq_diff(module.forward(x), y0);
+      p->value[i] = orig;
+      update(res, p->grad[i], (lp - lm) / (2.0 * eps), scale);
+    }
+  }
+  return res;
+}
+
+}  // namespace turb::nn

@@ -1,0 +1,35 @@
+// Finite-difference gradient verification.
+//
+// Every analytic backward pass in this library is validated against central
+// differences. Checks run in float, so tolerances are necessarily loose
+// (~1e-2 relative); systematic errors (wrong adjoint, missing conjugate,
+// wrong scale) show up orders of magnitude above that.
+#pragma once
+
+#include <functional>
+
+#include "nn/module.hpp"
+
+namespace turb::nn {
+
+struct GradcheckResult {
+  double max_rel_error = 0.0;    ///< worst relative disagreement seen
+  double max_abs_error = 0.0;    ///< worst absolute disagreement seen
+  index_t checked = 0;           ///< number of coordinates probed
+  bool ok(double tol = 2e-2) const { return max_rel_error <= tol; }
+};
+
+/// Verify d(scalar loss)/d(input) of `module` at `x` against central
+/// differences. The scalar loss is 0.5‖y − y₀‖² for a fixed random y₀, whose
+/// gradient is (y − y₀). Probes `probes` randomly chosen input coordinates.
+GradcheckResult gradcheck_input(Module& module, const TensorF& x,
+                                index_t probes = 40, float eps = 1e-2f,
+                                std::uint64_t seed = 1234);
+
+/// Verify d(scalar loss)/dθ for every parameter of `module` (probing up to
+/// `probes` coordinates per parameter).
+GradcheckResult gradcheck_parameters(Module& module, const TensorF& x,
+                                     index_t probes = 40, float eps = 1e-2f,
+                                     std::uint64_t seed = 1234);
+
+}  // namespace turb::nn

@@ -1,0 +1,116 @@
+#include "nn/linear.hpp"
+
+#include <cmath>
+
+#include "tensor/gemm.hpp"
+#include "util/thread_pool.hpp"
+
+namespace turb::nn {
+
+namespace {
+
+/// Spatial extent: product of dims after (N, C).
+index_t spatial_size(const Shape& shape) {
+  TURB_CHECK_MSG(shape.size() >= 2, "linear input must be (N, C, ...)");
+  index_t s = 1;
+  for (std::size_t i = 2; i < shape.size(); ++i) s *= shape[i];
+  return s;
+}
+
+}  // namespace
+
+Linear::Linear(index_t in_channels, index_t out_channels, Rng& rng, bool bias,
+               std::string name)
+    : in_channels_(in_channels),
+      out_channels_(out_channels),
+      has_bias_(bias),
+      name_(std::move(name)),
+      weight_(name_ + ".weight", {out_channels, in_channels}) {
+  TURB_CHECK(in_channels >= 1 && out_channels >= 1);
+  // PyTorch nn.Linear default: U(-k, k) with k = 1/sqrt(fan_in).
+  const double k = 1.0 / std::sqrt(static_cast<double>(in_channels));
+  weight_.value.fill_uniform(rng, -k, k);
+  if (has_bias_) {
+    bias_ = Parameter(name_ + ".bias", {out_channels});
+    bias_.value.fill_uniform(rng, -k, k);
+  }
+}
+
+TensorF Linear::forward(const TensorF& x) {
+  TURB_CHECK_MSG(x.rank() >= 2 && x.dim(1) == in_channels_,
+                 name_ << ": expected channel dim " << in_channels_ << ", got "
+                       << shape_to_string(x.shape()));
+  input_ = x;
+  const index_t batch = x.dim(0);
+  const index_t s = spatial_size(x.shape());
+
+  Shape out_shape = x.shape();
+  out_shape[1] = out_channels_;
+  TensorF y(out_shape);
+
+  const float* w = weight_.value.data();
+  parallel_for(0, batch, [&](index_t n) {
+    const float* xn = x.data() + n * in_channels_ * s;
+    float* yn = y.data() + n * out_channels_ * s;
+    gemm_nn<float>(out_channels_, s, in_channels_, 1.0f, w, in_channels_, xn,
+                   s, 0.0f, yn, s);
+    if (has_bias_) {
+      const float* b = bias_.value.data();
+      for (index_t o = 0; o < out_channels_; ++o) {
+        float* row = yn + o * s;
+        for (index_t j = 0; j < s; ++j) row[j] += b[o];
+      }
+    }
+  });
+  return y;
+}
+
+TensorF Linear::backward(const TensorF& grad_out) {
+  TURB_CHECK_MSG(!input_.empty(), name_ << ": backward before forward");
+  TURB_CHECK(grad_out.rank() >= 2 && grad_out.dim(1) == out_channels_);
+  const index_t batch = input_.dim(0);
+  const index_t s = spatial_size(input_.shape());
+  TURB_CHECK(grad_out.size() == batch * out_channels_ * s);
+
+  TensorF grad_in(input_.shape());
+  const float* w = weight_.value.data();
+
+  // dX[n] = Wᵀ (C_in×C_out) · dY[n] (C_out×S)
+  parallel_for(0, batch, [&](index_t n) {
+    const float* gn = grad_out.data() + n * out_channels_ * s;
+    float* gi = grad_in.data() + n * in_channels_ * s;
+    gemm_tn<float>(in_channels_, s, out_channels_, 1.0f, w, in_channels_, gn,
+                   s, 0.0f, gi, s);
+  });
+
+  // dW += Σ_n dY[n] (C_out×S) · X[n]ᵀ (S×C_in);  db += Σ_{n,s} dY.
+  // Accumulated serially over the batch: the per-sample GEMMs above carry the
+  // parallel work, and serial accumulation avoids gradient races.
+  float* gw = weight_.grad.data();
+  for (index_t n = 0; n < batch; ++n) {
+    const float* gn = grad_out.data() + n * out_channels_ * s;
+    const float* xn = input_.data() + n * in_channels_ * s;
+    gemm_nt<float>(out_channels_, in_channels_, s, 1.0f, gn, s, xn, s, 1.0f,
+                   gw, in_channels_);
+  }
+  if (has_bias_) {
+    float* gb = bias_.grad.data();
+    for (index_t n = 0; n < batch; ++n) {
+      const float* gn = grad_out.data() + n * out_channels_ * s;
+      for (index_t o = 0; o < out_channels_; ++o) {
+        const float* row = gn + o * s;
+        double acc = 0.0;
+        for (index_t j = 0; j < s; ++j) acc += row[j];
+        gb[o] += static_cast<float>(acc);
+      }
+    }
+  }
+  return grad_in;
+}
+
+void Linear::collect_parameters(std::vector<Parameter*>& out) {
+  out.push_back(&weight_);
+  if (has_bias_) out.push_back(&bias_);
+}
+
+}  // namespace turb::nn

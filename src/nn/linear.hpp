@@ -1,0 +1,44 @@
+// Channel-wise linear layer (pointwise / 1×1 convolution).
+//
+// Input (N, C_in, S₁, …, S_d) → output (N, C_out, S₁, …, S_d) with
+//   y[n, o, s] = Σ_i W[o, i] · x[n, i, s] + b[o]
+// applied independently at every spatial location s. This single layer plays
+// three roles in the FNO: lifting MLP stage, residual skip inside each FNO
+// block, and projection MLP stage.
+#pragma once
+
+#include <string>
+
+#include "nn/module.hpp"
+#include "util/rng.hpp"
+
+namespace turb::nn {
+
+class Linear : public Module {
+ public:
+  /// @param bias  include the additive bias term (true everywhere in the
+  ///              paper's architecture).
+  Linear(index_t in_channels, index_t out_channels, Rng& rng,
+         bool bias = true, std::string name = "linear");
+
+  TensorF forward(const TensorF& x) override;
+  TensorF backward(const TensorF& grad_out) override;
+  void collect_parameters(std::vector<Parameter*>& out) override;
+  [[nodiscard]] std::string name() const override { return name_; }
+
+  [[nodiscard]] index_t in_channels() const { return in_channels_; }
+  [[nodiscard]] index_t out_channels() const { return out_channels_; }
+  [[nodiscard]] Parameter& weight() { return weight_; }
+  [[nodiscard]] Parameter& bias() { return bias_; }
+
+ private:
+  index_t in_channels_;
+  index_t out_channels_;
+  bool has_bias_;
+  std::string name_;
+  Parameter weight_;  // (C_out, C_in)
+  Parameter bias_;    // (C_out) — empty when has_bias_ is false
+  TensorF input_;     // cached for backward
+};
+
+}  // namespace turb::nn

@@ -1,0 +1,85 @@
+#include "nn/loss.hpp"
+
+#include <cmath>
+
+#include "util/common.hpp"
+
+namespace turb::nn {
+
+LossResult mse_loss(const TensorF& pred, const TensorF& target) {
+  TURB_CHECK(pred.shape() == target.shape());
+  const index_t n = pred.size();
+  TURB_CHECK(n > 0);
+  LossResult res;
+  res.grad = TensorF(pred.shape());
+  double acc = 0.0;
+  const float* p = pred.data();
+  const float* t = target.data();
+  float* g = res.grad.data();
+  const float scale = 2.0f / static_cast<float>(n);
+  for (index_t i = 0; i < n; ++i) {
+    const float d = p[i] - t[i];
+    acc += static_cast<double>(d) * d;
+    g[i] = scale * d;
+  }
+  res.value = acc / static_cast<double>(n);
+  return res;
+}
+
+LossResult relative_l2_loss(const TensorF& pred, const TensorF& target) {
+  TURB_CHECK(pred.shape() == target.shape());
+  TURB_CHECK(pred.rank() >= 1);
+  const index_t batch = pred.dim(0);
+  const index_t per = pred.size() / batch;
+  LossResult res;
+  res.grad = TensorF(pred.shape());
+  const float* p = pred.data();
+  const float* t = target.data();
+  float* g = res.grad.data();
+
+  double total = 0.0;
+  for (index_t n = 0; n < batch; ++n) {
+    const float* pn = p + n * per;
+    const float* tn = t + n * per;
+    double diff2 = 0.0, targ2 = 0.0;
+    for (index_t i = 0; i < per; ++i) {
+      const double d = static_cast<double>(pn[i]) - tn[i];
+      diff2 += d * d;
+      targ2 += static_cast<double>(tn[i]) * tn[i];
+    }
+    const double dn = std::sqrt(diff2);
+    const double tn_norm = std::sqrt(std::max(targ2, 1e-30));
+    total += dn / tn_norm;
+    // dL/dpred_n = (pred-target) / (‖diff‖·‖target‖·N)
+    const double denom = std::max(dn, 1e-30) * tn_norm *
+                         static_cast<double>(batch);
+    const float s = static_cast<float>(1.0 / denom);
+    float* gn = g + n * per;
+    for (index_t i = 0; i < per; ++i) {
+      gn[i] = s * (pn[i] - tn[i]);
+    }
+  }
+  res.value = total / static_cast<double>(batch);
+  return res;
+}
+
+double relative_l2_error(const TensorF& pred, const TensorF& target) {
+  TURB_CHECK(pred.shape() == target.shape());
+  const index_t batch = pred.dim(0);
+  const index_t per = pred.size() / batch;
+  const float* p = pred.data();
+  const float* t = target.data();
+  double total = 0.0;
+  for (index_t n = 0; n < batch; ++n) {
+    double diff2 = 0.0, targ2 = 0.0;
+    for (index_t i = 0; i < per; ++i) {
+      const double d = static_cast<double>(p[n * per + i]) - t[n * per + i];
+      diff2 += d * d;
+      targ2 += static_cast<double>(t[n * per + i]) * t[n * per + i];
+    }
+    total += std::sqrt(diff2) / std::sqrt(std::max(targ2, 1e-30));
+  }
+  return total / static_cast<double>(batch);
+}
+
+}  // namespace turb::nn

@@ -1,0 +1,28 @@
+// Training losses.
+#pragma once
+
+#include <utility>
+
+#include "tensor/tensor.hpp"
+
+namespace turb::nn {
+
+/// Loss result: scalar value plus gradient w.r.t. the prediction.
+struct LossResult {
+  double value = 0.0;
+  TensorF grad;
+};
+
+/// Mean squared error over all elements.
+LossResult mse_loss(const TensorF& pred, const TensorF& target);
+
+/// Relative L2 loss averaged over the batch (the standard FNO training
+/// loss, `LpLoss(p=2)` of the reference implementation):
+///   L = (1/N) Σ_n ‖pred_n − target_n‖₂ / ‖target_n‖₂
+LossResult relative_l2_loss(const TensorF& pred, const TensorF& target);
+
+/// Batch-averaged relative L2 *metric* (no gradient) — the error the paper's
+/// figures report.
+double relative_l2_error(const TensorF& pred, const TensorF& target);
+
+}  // namespace turb::nn

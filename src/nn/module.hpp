@@ -1,0 +1,60 @@
+// Neural-network module interface with explicit analytic backward passes.
+//
+// There is no taped autograd: each module caches whatever it needs during
+// forward() and implements backward() as the exact vector-Jacobian product.
+// Every layer is validated against finite differences (see nn/gradcheck.hpp
+// and tests/test_nn_*.cpp), which gives the same correctness guarantee with
+// far less machinery — and makes the training loop a plain function call
+// chain that profiles cleanly.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/parameter.hpp"
+#include "tensor/tensor.hpp"
+
+namespace turb::nn {
+
+class Module {
+ public:
+  virtual ~Module() = default;
+
+  /// Compute outputs; caches activations needed by backward().
+  virtual TensorF forward(const TensorF& x) = 0;
+
+  /// Propagate the loss gradient: given dL/d(output), accumulate dL/dθ into
+  /// parameter .grad buffers and return dL/d(input). Must be called after a
+  /// matching forward() (modules are not reentrant).
+  virtual TensorF backward(const TensorF& grad_out) = 0;
+
+  /// Append raw pointers to this module's parameters (stable for the module
+  /// lifetime).
+  virtual void collect_parameters(std::vector<Parameter*>& out) { (void)out; }
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Convenience: gather all parameters of this module tree.
+  [[nodiscard]] std::vector<Parameter*> parameters() {
+    std::vector<Parameter*> out;
+    collect_parameters(out);
+    return out;
+  }
+
+  /// Total trainable scalar count (complex weights count both components —
+  /// the convention used by PyTorch's view_as_real and by the paper's
+  /// Table I).
+  [[nodiscard]] index_t parameter_count() {
+    index_t total = 0;
+    for (const Parameter* p : parameters()) total += p->size();
+    return total;
+  }
+
+  /// Zero every parameter gradient.
+  void zero_grad() {
+    for (Parameter* p : parameters()) p->grad.zero();
+  }
+};
+
+}  // namespace turb::nn

@@ -1,0 +1,65 @@
+#include "nn/optimizer.hpp"
+
+#include <cmath>
+
+#include "util/common.hpp"
+
+namespace turb::nn {
+
+Adam::Adam(std::vector<Parameter*> params, Config config)
+    : params_(std::move(params)), config_(config) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (const Parameter* p : params_) {
+    TURB_CHECK(p != nullptr);
+    m_.emplace_back(p->value.shape());
+    v_.emplace_back(p->value.shape());
+  }
+}
+
+void Adam::step() {
+  ++t_;
+  const double bc1 = 1.0 - std::pow(config_.beta1, static_cast<double>(t_));
+  const double bc2 = 1.0 - std::pow(config_.beta2, static_cast<double>(t_));
+  const float b1 = static_cast<float>(config_.beta1);
+  const float b2 = static_cast<float>(config_.beta2);
+  const float lr = static_cast<float>(config_.lr);
+  const float eps = static_cast<float>(config_.eps);
+  const float wd = static_cast<float>(config_.weight_decay);
+  const float inv_bc1 = static_cast<float>(1.0 / bc1);
+  const float inv_bc2 = static_cast<float>(1.0 / bc2);
+
+  for (std::size_t pi = 0; pi < params_.size(); ++pi) {
+    Parameter& p = *params_[pi];
+    float* w = p.value.data();
+    const float* g = p.grad.data();
+    float* m = m_[pi].data();
+    float* v = v_[pi].data();
+    const index_t n = p.size();
+    for (index_t i = 0; i < n; ++i) {
+      // L2-coupled weight decay (PyTorch Adam semantics, not AdamW).
+      const float gi = g[i] + wd * w[i];
+      m[i] = b1 * m[i] + (1.0f - b1) * gi;
+      v[i] = b2 * v[i] + (1.0f - b2) * gi * gi;
+      const float mhat = m[i] * inv_bc1;
+      const float vhat = v[i] * inv_bc2;
+      w[i] -= lr * mhat / (std::sqrt(vhat) + eps);
+    }
+  }
+}
+
+void Adam::zero_grad() {
+  for (Parameter* p : params_) p->grad.zero();
+}
+
+void StepLR::step() {
+  ++epoch_;
+  optimizer_->set_lr(current_lr());
+}
+
+double StepLR::current_lr() const {
+  const long drops = epoch_ / step_size_;
+  return base_lr_ * std::pow(gamma_, static_cast<double>(drops));
+}
+
+}  // namespace turb::nn

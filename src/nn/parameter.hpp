@@ -1,0 +1,27 @@
+// Trainable parameter: value and gradient buffers of identical shape.
+#pragma once
+
+#include <string>
+#include <utility>
+
+#include "tensor/tensor.hpp"
+
+namespace turb::nn {
+
+/// A named trainable tensor. Gradients are accumulated (+=) by backward
+/// passes and cleared by Optimizer::zero_grad(). Complex-valued weights
+/// (spectral convolutions) are stored with a trailing real/imag axis of
+/// extent 2 so optimizers can treat every parameter as a flat float array.
+struct Parameter {
+  Parameter() = default;
+  Parameter(std::string name_, Shape shape)
+      : name(std::move(name_)), value(shape), grad(std::move(shape)) {}
+
+  std::string name;
+  TensorF value;
+  TensorF grad;
+
+  [[nodiscard]] index_t size() const { return value.size(); }
+};
+
+}  // namespace turb::nn

@@ -1,0 +1,35 @@
+// Physics-informed training loss (paper §VI-C / §VII outlook).
+//
+// The paper observes that FNO predictions are not divergence-free because
+// "the incompressibility of velocity fields was not incorporated in the loss
+// function while training", and names embedding the governing equations in
+// the loss as future work. This module implements that extension: a
+// spectral divergence penalty on velocity-pair predictions,
+//
+//   L_div = (1/(N·K·M)) Σ_{n,k,cells} (∂x u₁ + ∂y u₂)²
+//
+// whose gradient uses the exact skew-adjointness of the spectral derivative
+// (∂ᵀ = −∂ under this library's transform conventions), combined with the
+// standard relative-L2 data term.
+//
+// Velocity-pair layout: predictions and targets are (N, 2K, H, W) tensors
+// holding K chronological u₁ snapshots followed by K u₂ snapshots
+// (see data::make_velocity_pair_windows).
+#pragma once
+
+#include "nn/loss.hpp"
+
+namespace turb::nn {
+
+/// Mean squared divergence of K velocity-pair snapshots, with gradient.
+/// @param pred (N, 2K, H, W) velocity-pair tensor.
+LossResult divergence_penalty(const TensorF& pred, index_t k_steps);
+
+/// Mean |∇·u|² metric only (no gradient allocation).
+double mean_squared_divergence(const TensorF& pred, index_t k_steps);
+
+/// relative_l2_loss(pred, target) + div_weight · divergence_penalty(pred).
+LossResult physics_informed_loss(const TensorF& pred, const TensorF& target,
+                                 index_t k_steps, double div_weight);
+
+}  // namespace turb::nn

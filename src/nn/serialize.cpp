@@ -1,0 +1,114 @@
+#include "nn/serialize.hpp"
+
+#include <cstdint>
+#include <fstream>
+#include <map>
+
+#include "util/common.hpp"
+
+namespace turb::nn {
+
+namespace {
+
+constexpr char kMagic[4] = {'T', 'N', 'N', '1'};
+
+template <typename T>
+void write_pod(std::ofstream& os, T v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::ifstream& is) {
+  T v{};
+  is.read(reinterpret_cast<char*>(&v), sizeof(T));
+  TURB_CHECK_MSG(is.good(), "truncated parameter file");
+  return v;
+}
+
+}  // namespace
+
+void save_parameters(const std::string& path,
+                     const std::vector<Parameter*>& params,
+                     const Metadata& metadata) {
+  std::ofstream os(path, std::ios::binary);
+  TURB_CHECK_MSG(os.good(), "cannot open " << path << " for writing");
+  os.write(kMagic, 4);
+  write_pod<std::uint32_t>(os, static_cast<std::uint32_t>(params.size()));
+  for (const Parameter* p : params) {
+    TURB_CHECK(p != nullptr);
+    write_pod<std::uint32_t>(os, static_cast<std::uint32_t>(p->name.size()));
+    os.write(p->name.data(), static_cast<std::streamsize>(p->name.size()));
+    write_pod<std::uint32_t>(os, static_cast<std::uint32_t>(p->value.rank()));
+    for (const index_t d : p->value.shape()) {
+      write_pod<std::int64_t>(os, d);
+    }
+    os.write(reinterpret_cast<const char*>(p->value.data()),
+             static_cast<std::streamsize>(p->value.size() * sizeof(float)));
+  }
+  write_pod<std::uint32_t>(os, static_cast<std::uint32_t>(metadata.size()));
+  for (const auto& [key, value] : metadata) {
+    write_pod<std::uint32_t>(os, static_cast<std::uint32_t>(key.size()));
+    os.write(key.data(), static_cast<std::streamsize>(key.size()));
+    write_pod<double>(os, value);
+  }
+  TURB_CHECK_MSG(os.good(), "write failed for " << path);
+}
+
+void load_parameters(const std::string& path,
+                     const std::vector<Parameter*>& params,
+                     Metadata* metadata) {
+  std::ifstream is(path, std::ios::binary);
+  TURB_CHECK_MSG(is.good(), "cannot open " << path);
+  char magic[4];
+  is.read(magic, 4);
+  TURB_CHECK_MSG(is.good() && std::equal(magic, magic + 4, kMagic),
+                 path << " is not a TNN1 parameter file");
+
+  std::map<std::string, Parameter*> by_name;
+  for (Parameter* p : params) {
+    TURB_CHECK(p != nullptr);
+    TURB_CHECK_MSG(by_name.emplace(p->name, p).second,
+                   "duplicate parameter name " << p->name);
+  }
+
+  const auto count = read_pod<std::uint32_t>(is);
+  std::size_t matched = 0;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const auto name_len = read_pod<std::uint32_t>(is);
+    std::string name(name_len, '\0');
+    is.read(name.data(), name_len);
+    const auto rank = read_pod<std::uint32_t>(is);
+    Shape shape(rank);
+    for (auto& d : shape) d = read_pod<std::int64_t>(is);
+
+    const auto it = by_name.find(name);
+    TURB_CHECK_MSG(it != by_name.end(),
+                   "checkpoint parameter " << name << " not found in model");
+    Parameter& p = *it->second;
+    TURB_CHECK_MSG(p.value.shape() == shape,
+                   "shape mismatch for " << name << ": model "
+                                         << shape_to_string(p.value.shape())
+                                         << " vs file "
+                                         << shape_to_string(shape));
+    is.read(reinterpret_cast<char*>(p.value.data()),
+            static_cast<std::streamsize>(p.value.size() * sizeof(float)));
+    TURB_CHECK_MSG(is.good(), "truncated payload for " << name);
+    ++matched;
+  }
+  TURB_CHECK_MSG(matched == params.size(),
+                 "checkpoint holds " << matched << " of " << params.size()
+                                     << " model parameters");
+  if (metadata != nullptr) {
+    metadata->clear();
+    const auto meta_count = read_pod<std::uint32_t>(is);
+    for (std::uint32_t i = 0; i < meta_count; ++i) {
+      const auto key_len = read_pod<std::uint32_t>(is);
+      std::string key(key_len, '\0');
+      is.read(key.data(), key_len);
+      TURB_CHECK_MSG(is.good(), "truncated metadata");
+      (*metadata)[key] = read_pod<double>(is);
+    }
+  }
+}
+
+}  // namespace turb::nn

@@ -1,0 +1,32 @@
+// Binary (de)serialisation of model parameters.
+//
+// Format "TNN1": little-endian; header, then per parameter: name length +
+// bytes, rank, extents, float32 payload. Loading matches parameters by name
+// and validates shapes, so a checkpoint survives refactors that reorder
+// layers but not ones that rename or resize them.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "nn/parameter.hpp"
+
+namespace turb::nn {
+
+/// Optional scalar metadata stored alongside the weights (normaliser
+/// statistics, snapshot cadence, config hashes, …).
+using Metadata = std::map<std::string, double>;
+
+/// Save parameters (and metadata) to `path`. Throws CheckError on failure.
+void save_parameters(const std::string& path,
+                     const std::vector<Parameter*>& params,
+                     const Metadata& metadata = {});
+
+/// Load into existing parameters (matched by name, shape-checked). When
+/// `metadata` is non-null it receives the stored key/value pairs.
+void load_parameters(const std::string& path,
+                     const std::vector<Parameter*>& params,
+                     Metadata* metadata = nullptr);
+
+}  // namespace turb::nn

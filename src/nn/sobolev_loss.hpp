@@ -1,0 +1,33 @@
+// Sobolev (H¹-type) training loss.
+//
+// The paper finds that enstrophy errors grow even when kinetic-energy errors
+// stay below 10%, "attributed to the fact that enstrophy is calculated from
+// the gradient of velocity field while the model lacks any explicit
+// mechanism to learn gradients", and proposes a gradient-aware loss as the
+// remedy (§VI-C). This module implements it: a relative error in the
+// spectrally weighted norm
+//
+//   ‖f‖²_{H,s} = Σ_k (1 + s·|k|²) |f̂_k|² / M        (k in integer modes)
+//
+// which up-weights exactly the high-wavenumber content that enstrophy
+// measures. s = 0 recovers the plain relative L2 loss.
+//
+// The gradient uses the self-adjointness of Λ = irfft ∘ √w ∘ rfft for the
+// real diagonal weight w (same adjoint identities as the spectral
+// convolution; validated by finite differences in the tests).
+#pragma once
+
+#include "nn/loss.hpp"
+
+namespace turb::nn {
+
+/// Batch-averaged relative H^s loss over (N, C, H, W) predictions:
+///   L = (1/N) Σ_n ‖pred_n − target_n‖_{H,s} / ‖target_n‖_{H,s}
+LossResult sobolev_loss(const TensorF& pred, const TensorF& target,
+                        double s = 1.0);
+
+/// Metric-only variant.
+double sobolev_error(const TensorF& pred, const TensorF& target,
+                     double s = 1.0);
+
+}  // namespace turb::nn

@@ -1,0 +1,78 @@
+// Small dense matrix multiply kernels (row-major).
+//
+// The nn Linear layers (channel-wise 1×1 convolutions) reduce to GEMMs with
+// modest inner dimensions (channel counts 1–256), so a cache-aware loop
+// ordering that the compiler can autovectorise is sufficient; there is no
+// external BLAS dependency.
+//
+//   gemm_nn : C = alpha * A   * B   + beta * C   A: m×k, B: k×n, C: m×n
+//   gemm_tn : C = alpha * Aᵀ  * B   + beta * C   A: k×m, B: k×n, C: m×n
+//   gemm_nt : C = alpha * A   * Bᵀ  + beta * C   A: m×k, B: n×k, C: m×n
+//
+// The transposed variants are exactly the shapes needed by the backward
+// passes (dX = Wᵀ·dY, dW = dY·Xᵀ).
+#pragma once
+
+#include "util/common.hpp"
+
+namespace turb {
+
+template <typename T>
+void gemm_nn(index_t m, index_t n, index_t k, T alpha, const T* a, index_t lda,
+             const T* b, index_t ldb, T beta, T* c, index_t ldc) {
+  for (index_t i = 0; i < m; ++i) {
+    T* ci = c + i * ldc;
+    if (beta == T{0}) {
+      for (index_t j = 0; j < n; ++j) ci[j] = T{0};
+    } else if (beta != T{1}) {
+      for (index_t j = 0; j < n; ++j) ci[j] *= beta;
+    }
+    const T* ai = a + i * lda;
+    for (index_t p = 0; p < k; ++p) {
+      const T aip = alpha * ai[p];
+      const T* bp = b + p * ldb;
+      for (index_t j = 0; j < n; ++j) {
+        ci[j] += aip * bp[j];
+      }
+    }
+  }
+}
+
+template <typename T>
+void gemm_tn(index_t m, index_t n, index_t k, T alpha, const T* a, index_t lda,
+             const T* b, index_t ldb, T beta, T* c, index_t ldc) {
+  for (index_t i = 0; i < m; ++i) {
+    T* ci = c + i * ldc;
+    if (beta == T{0}) {
+      for (index_t j = 0; j < n; ++j) ci[j] = T{0};
+    } else if (beta != T{1}) {
+      for (index_t j = 0; j < n; ++j) ci[j] *= beta;
+    }
+    for (index_t p = 0; p < k; ++p) {
+      const T aip = alpha * a[p * lda + i];  // Aᵀ[i,p]
+      const T* bp = b + p * ldb;
+      for (index_t j = 0; j < n; ++j) {
+        ci[j] += aip * bp[j];
+      }
+    }
+  }
+}
+
+template <typename T>
+void gemm_nt(index_t m, index_t n, index_t k, T alpha, const T* a, index_t lda,
+             const T* b, index_t ldb, T beta, T* c, index_t ldc) {
+  for (index_t i = 0; i < m; ++i) {
+    const T* ai = a + i * lda;
+    T* ci = c + i * ldc;
+    for (index_t j = 0; j < n; ++j) {
+      const T* bj = b + j * ldb;
+      T acc{};
+      for (index_t p = 0; p < k; ++p) {
+        acc += ai[p] * bj[p];
+      }
+      ci[j] = alpha * acc + (beta == T{0} ? T{0} : beta * ci[j]);
+    }
+  }
+}
+
+}  // namespace turb

@@ -1,0 +1,19 @@
+#include "tensor/tensor.hpp"
+
+#include <ostream>
+#include <sstream>
+
+namespace turb {
+
+/// Render a shape like [2, 3, 4] (debugging / error messages).
+std::string shape_to_string(const Shape& shape) {
+  std::ostringstream os;
+  os << "[";
+  for (std::size_t i = 0; i < shape.size(); ++i) {
+    os << shape[i] << (i + 1 < shape.size() ? ", " : "");
+  }
+  os << "]";
+  return os.str();
+}
+
+}  // namespace turb

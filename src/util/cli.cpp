@@ -1,0 +1,64 @@
+#include "util/cli.hpp"
+
+#include <cstdlib>
+
+#include "util/common.hpp"
+
+namespace turb {
+
+CliArgs::CliArgs(int argc, const char* const* argv) {
+  if (argc > 0) program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    arg = arg.substr(2);
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      options_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      options_[arg] = argv[++i];
+    } else {
+      options_[arg] = "true";  // bare flag
+    }
+  }
+}
+
+bool CliArgs::has(const std::string& key) const {
+  return options_.count(key) > 0;
+}
+
+std::string CliArgs::get(const std::string& key,
+                         const std::string& fallback) const {
+  const auto it = options_.find(key);
+  return it == options_.end() ? fallback : it->second;
+}
+
+long CliArgs::get_int(const std::string& key, long fallback) const {
+  const auto it = options_.find(key);
+  if (it == options_.end()) return fallback;
+  char* end = nullptr;
+  const long v = std::strtol(it->second.c_str(), &end, 10);
+  TURB_CHECK_MSG(end != it->second.c_str(), "not an integer: --" << key);
+  return v;
+}
+
+double CliArgs::get_double(const std::string& key, double fallback) const {
+  const auto it = options_.find(key);
+  if (it == options_.end()) return fallback;
+  char* end = nullptr;
+  const double v = std::strtod(it->second.c_str(), &end);
+  TURB_CHECK_MSG(end != it->second.c_str(), "not a number: --" << key);
+  return v;
+}
+
+bool CliArgs::get_flag(const std::string& key, bool fallback) const {
+  const auto it = options_.find(key);
+  if (it == options_.end()) return fallback;
+  return it->second == "true" || it->second == "1" || it->second == "yes" ||
+         it->second == "on";
+}
+
+}  // namespace turb

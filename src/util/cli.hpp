@@ -1,0 +1,39 @@
+// Minimal command-line argument parser for examples and benches.
+//
+// Supports `--key value`, `--key=value`, and boolean flags `--key`.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace turb {
+
+/// Parsed command-line options with typed, defaulted lookups.
+class CliArgs {
+ public:
+  CliArgs(int argc, const char* const* argv);
+
+  [[nodiscard]] bool has(const std::string& key) const;
+  [[nodiscard]] std::string get(const std::string& key,
+                                const std::string& fallback) const;
+  [[nodiscard]] long get_int(const std::string& key, long fallback) const;
+  [[nodiscard]] double get_double(const std::string& key,
+                                  double fallback) const;
+  [[nodiscard]] bool get_flag(const std::string& key,
+                              bool fallback = false) const;
+
+  /// Positional (non `--`) arguments in order.
+  [[nodiscard]] const std::vector<std::string>& positional() const {
+    return positional_;
+  }
+
+  [[nodiscard]] const std::string& program() const { return program_; }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> options_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace turb

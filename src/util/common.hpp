@@ -1,0 +1,46 @@
+// Common definitions shared across the turbfno library.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace turb {
+
+using index_t = std::int64_t;
+
+/// Thrown on precondition violations detected by TURB_CHECK.
+class CheckError : public std::runtime_error {
+ public:
+  explicit CheckError(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "TURB_CHECK failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckError(os.str());
+}
+}  // namespace detail
+
+}  // namespace turb
+
+/// Precondition check that stays on in release builds. Library entry points
+/// validate their inputs with this; hot inner loops do not.
+#define TURB_CHECK(expr)                                              \
+  do {                                                                \
+    if (!(expr)) ::turb::detail::check_failed(#expr, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define TURB_CHECK_MSG(expr, msg)                                     \
+  do {                                                                \
+    if (!(expr)) {                                                    \
+      std::ostringstream os_;                                         \
+      os_ << msg;                                                     \
+      ::turb::detail::check_failed(#expr, __FILE__, __LINE__, os_.str()); \
+    }                                                                 \
+  } while (0)

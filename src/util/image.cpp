@@ -1,0 +1,93 @@
+#include "util/image.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <fstream>
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace turb {
+
+namespace {
+
+struct Rgb {
+  std::uint8_t r, g, b;
+};
+
+/// Piecewise-linear blue → white → red map on s in [-1, 1].
+Rgb diverging_color(double s) {
+  s = std::clamp(s, -1.0, 1.0);
+  const auto lerp = [](double a, double b, double t) {
+    return a + (b - a) * t;
+  };
+  // Endpoints: deep blue (0.23,0.30,0.75), white, deep red (0.71,0.02,0.15).
+  double r, g, b;
+  if (s < 0.0) {
+    const double t = s + 1.0;  // 0 at -1, 1 at 0
+    r = lerp(0.230, 1.0, t);
+    g = lerp(0.299, 1.0, t);
+    b = lerp(0.754, 1.0, t);
+  } else {
+    const double t = s;  // 0 at 0, 1 at +1
+    r = lerp(1.0, 0.706, t);
+    g = lerp(1.0, 0.016, t);
+    b = lerp(1.0, 0.150, t);
+  }
+  const auto to8 = [](double v) {
+    return static_cast<std::uint8_t>(std::lround(std::clamp(v, 0.0, 1.0) * 255.0));
+  };
+  return {to8(r), to8(g), to8(b)};
+}
+
+}  // namespace
+
+void write_pgm(const std::string& path, std::span<const double> field,
+               int height, int width) {
+  TURB_CHECK(field.size() == static_cast<std::size_t>(height) * width);
+  const auto [lo_it, hi_it] = std::minmax_element(field.begin(), field.end());
+  const double lo = *lo_it;
+  const double range = std::max(*hi_it - lo, 1e-300);
+
+  std::ofstream os(path, std::ios::binary);
+  TURB_CHECK_MSG(os.good(), "cannot open " << path);
+  os << "P5\n" << width << " " << height << "\n255\n";
+  std::vector<std::uint8_t> row(static_cast<std::size_t>(width));
+  for (int y = 0; y < height; ++y) {
+    for (int x = 0; x < width; ++x) {
+      const double v = (field[static_cast<std::size_t>(y) * width + x] - lo) / range;
+      row[static_cast<std::size_t>(x)] =
+          static_cast<std::uint8_t>(std::lround(v * 255.0));
+    }
+    os.write(reinterpret_cast<const char*>(row.data()),
+             static_cast<std::streamsize>(row.size()));
+  }
+}
+
+void write_ppm_diverging(const std::string& path,
+                         std::span<const double> field, int height,
+                         int width) {
+  TURB_CHECK(field.size() == static_cast<std::size_t>(height) * width);
+  double amax = 0.0;
+  for (const double v : field) amax = std::max(amax, std::abs(v));
+  if (amax == 0.0) amax = 1.0;
+
+  std::ofstream os(path, std::ios::binary);
+  TURB_CHECK_MSG(os.good(), "cannot open " << path);
+  os << "P6\n" << width << " " << height << "\n255\n";
+  std::vector<std::uint8_t> row(static_cast<std::size_t>(width) * 3);
+  for (int y = 0; y < height; ++y) {
+    for (int x = 0; x < width; ++x) {
+      const Rgb c =
+          diverging_color(field[static_cast<std::size_t>(y) * width + x] / amax);
+      row[static_cast<std::size_t>(x) * 3 + 0] = c.r;
+      row[static_cast<std::size_t>(x) * 3 + 1] = c.g;
+      row[static_cast<std::size_t>(x) * 3 + 2] = c.b;
+    }
+    os.write(reinterpret_cast<const char*>(row.data()),
+             static_cast<std::streamsize>(row.size()));
+  }
+}
+
+}  // namespace turb

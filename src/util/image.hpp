@@ -1,0 +1,19 @@
+// PPM/PGM image emission for visualising scalar fields (vorticity maps).
+#pragma once
+
+#include <span>
+#include <string>
+
+namespace turb {
+
+/// Write a grayscale PGM (P5) image; values are min-max normalised.
+void write_pgm(const std::string& path, std::span<const double> field,
+               int height, int width);
+
+/// Write a color PPM (P6) using a blue-white-red diverging colormap centred
+/// at zero (symmetric range ±max|field|), the conventional rendering for
+/// vorticity fields.
+void write_ppm_diverging(const std::string& path,
+                         std::span<const double> field, int height, int width);
+
+}  // namespace turb

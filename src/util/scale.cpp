@@ -1,0 +1,28 @@
+#include "util/scale.hpp"
+
+#include <cstdlib>
+
+namespace turb {
+
+BenchScale bench_scale() {
+  const char* env = std::getenv("TURBFNO_SCALE");
+  if (env == nullptr) return BenchScale::kCi;
+  const std::string s(env);
+  if (s == "paper") return BenchScale::kPaper;
+  if (s == "full") return BenchScale::kFull;
+  return BenchScale::kCi;
+}
+
+std::string bench_scale_name() {
+  switch (bench_scale()) {
+    case BenchScale::kPaper:
+      return "paper";
+    case BenchScale::kFull:
+      return "full";
+    case BenchScale::kCi:
+      break;
+  }
+  return "ci";
+}
+
+}  // namespace turb

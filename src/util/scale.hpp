@@ -1,0 +1,25 @@
+// Benchmark scale selection.
+//
+// The paper's experiments ran on 256² grids, 5000-sample datasets, and an
+// A6000 GPU. The default `ci` scale shrinks grids/ensembles/epochs so every
+// bench completes on a single CPU core in O(minute); `TURBFNO_SCALE=paper`
+// restores paper-scale parameters for users with the hardware budget.
+#pragma once
+
+#include <string>
+
+namespace turb {
+
+enum class BenchScale {
+  kCi,     ///< small grids, tiny ensembles — minutes on one CPU core
+  kFull,   ///< intermediate (overnight CPU)
+  kPaper,  ///< parameters as published
+};
+
+/// Read TURBFNO_SCALE (ci | full | paper); defaults to ci.
+BenchScale bench_scale();
+
+/// Human-readable name of the active scale.
+std::string bench_scale_name();
+
+}  // namespace turb

@@ -1,0 +1,101 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "util/common.hpp"
+
+namespace turb {
+
+namespace {
+
+std::string format_value(double v) {
+  std::ostringstream os;
+  // Integers print exactly; everything else in compact scientific-ish form.
+  if (v == static_cast<double>(static_cast<long long>(v)) &&
+      std::abs(v) < 1e15) {
+    os << static_cast<long long>(v);
+  } else {
+    os << std::setprecision(8) << v;
+  }
+  return os.str();
+}
+
+}  // namespace
+
+void SeriesTable::set_columns(std::vector<std::string> columns) {
+  TURB_CHECK(rows_.empty());
+  columns_ = std::move(columns);
+}
+
+void SeriesTable::add_row(const std::vector<double>& values) {
+  TURB_CHECK_MSG(values.size() == columns_.size(),
+                 "row width " << values.size() << " != column count "
+                              << columns_.size());
+  rows_.push_back({"", values});
+}
+
+void SeriesTable::add_row(const std::string& label,
+                          const std::vector<double>& values) {
+  TURB_CHECK_MSG(values.size() == columns_.size(),
+                 "row width " << values.size() << " != column count "
+                              << columns_.size());
+  has_labels_ = true;
+  rows_.push_back({label, values});
+}
+
+void SeriesTable::print_csv(std::ostream& os) const {
+  os << "# begin-csv " << name_ << "\n";
+  if (has_labels_) os << "label,";
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    os << columns_[c] << (c + 1 < columns_.size() ? "," : "");
+  }
+  os << "\n";
+  for (const auto& row : rows_) {
+    if (has_labels_) os << row.label << ",";
+    for (std::size_t c = 0; c < row.values.size(); ++c) {
+      os << format_value(row.values[c]) << (c + 1 < row.values.size() ? "," : "");
+    }
+    os << "\n";
+  }
+  os << "# end-csv\n";
+}
+
+void SeriesTable::print_pretty(std::ostream& os) const {
+  std::vector<std::size_t> widths(columns_.size());
+  std::size_t label_width = 0;
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    widths[c] = columns_[c].size();
+  }
+  std::vector<std::vector<std::string>> cells;
+  cells.reserve(rows_.size());
+  for (const auto& row : rows_) {
+    label_width = std::max(label_width, row.label.size());
+    std::vector<std::string> line;
+    line.reserve(row.values.size());
+    for (std::size_t c = 0; c < row.values.size(); ++c) {
+      line.push_back(format_value(row.values[c]));
+      widths[c] = std::max(widths[c], line.back().size());
+    }
+    cells.push_back(std::move(line));
+  }
+  os << "== " << name_ << " ==\n";
+  if (has_labels_) os << std::setw(static_cast<int>(label_width)) << "" << "  ";
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    os << std::setw(static_cast<int>(widths[c])) << columns_[c] << "  ";
+  }
+  os << "\n";
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    if (has_labels_) {
+      os << std::setw(static_cast<int>(label_width)) << rows_[r].label << "  ";
+    }
+    for (std::size_t c = 0; c < cells[r].size(); ++c) {
+      os << std::setw(static_cast<int>(widths[c])) << cells[r][c] << "  ";
+    }
+    os << "\n";
+  }
+}
+
+}  // namespace turb

@@ -1,0 +1,46 @@
+// CSV / aligned-table emission for bench harnesses.
+//
+// Every bench prints the series a paper figure plots as a CSV block wrapped
+// in `# begin-csv <name>` / `# end-csv` markers so downstream tooling can
+// extract and plot them.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace turb {
+
+/// Column-oriented numeric table with string row labels.
+class SeriesTable {
+ public:
+  explicit SeriesTable(std::string name) : name_(std::move(name)) {}
+
+  /// Define columns before adding rows.
+  void set_columns(std::vector<std::string> columns);
+
+  /// Append a data row (must match column count; label column optional).
+  void add_row(const std::vector<double>& values);
+  void add_row(const std::string& label, const std::vector<double>& values);
+
+  /// Emit `# begin-csv <name>` ... CSV ... `# end-csv` to the stream.
+  void print_csv(std::ostream& os) const;
+
+  /// Emit an aligned human-readable table.
+  void print_pretty(std::ostream& os) const;
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+ private:
+  struct Row {
+    std::string label;
+    std::vector<double> values;
+  };
+  std::string name_;
+  std::vector<std::string> columns_;
+  std::vector<Row> rows_;
+  bool has_labels_ = false;
+};
+
+}  // namespace turb

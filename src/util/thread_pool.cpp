@@ -1,0 +1,145 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <string>
+
+namespace turb {
+
+namespace {
+
+std::size_t default_thread_count() {
+  if (const char* env = std::getenv("TURBFNO_THREADS")) {
+    const long n = std::strtol(env, nullptr, 10);
+    if (n > 0) return static_cast<std::size_t>(n);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+}  // namespace
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  if (num_threads == 0) num_threads = default_thread_count();
+  // The calling thread participates in every parallel_for, so spawn one
+  // fewer worker than the requested parallel width.
+  const std::size_t workers = num_threads > 0 ? num_threads - 1 : 0;
+  workers_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    stop_ = true;
+  }
+  cv_work_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::run_task(Task& task) {
+  while (true) {
+    const index_t i = task.next.fetch_add(task.chunk, std::memory_order_relaxed);
+    if (i >= task.end) break;
+    const index_t chunk_end = std::min<index_t>(i + task.chunk, task.end);
+    try {
+      (*task.body)(i, chunk_end);
+    } catch (...) {
+      std::lock_guard lock(task.error_mutex);
+      if (!task.error) task.error = std::current_exception();
+    }
+    task.remaining.fetch_sub(chunk_end - i, std::memory_order_acq_rel);
+  }
+}
+
+void ThreadPool::worker_loop() {
+  std::size_t seen_generation = 0;
+  while (true) {
+    Task* task = nullptr;
+    {
+      std::unique_lock lock(mutex_);
+      cv_work_.wait(lock, [&] {
+        return stop_ || (current_ != nullptr && generation_ != seen_generation);
+      });
+      if (stop_) return;
+      seen_generation = generation_;
+      task = current_;
+      ++active_;
+    }
+    run_task(*task);
+    {
+      std::lock_guard lock(mutex_);
+      --active_;
+    }
+    cv_done_.notify_all();
+  }
+}
+
+void ThreadPool::parallel_for_chunked(
+    index_t begin, index_t end,
+    const std::function<void(index_t, index_t)>& body) {
+  if (begin >= end) return;
+  const index_t n = end - begin;
+  if (workers_.empty() || n == 1) {
+    body(begin, end);
+    return;
+  }
+
+  Task task;
+  task.body = &body;
+  task.begin = begin;
+  task.end = end;
+  // ~4 chunks per thread for load balance without excessive contention.
+  const index_t target_chunks = static_cast<index_t>(size()) * 4;
+  task.chunk = std::max<index_t>(1, n / target_chunks);
+  task.next.store(begin, std::memory_order_relaxed);
+  task.remaining.store(n, std::memory_order_relaxed);
+
+  {
+    std::lock_guard lock(mutex_);
+    current_ = &task;
+    ++generation_;
+  }
+  cv_work_.notify_all();
+  run_task(task);
+
+  {
+    // Wait until every index is processed AND no worker still holds a
+    // reference to the stack-allocated task.
+    std::unique_lock lock(mutex_);
+    current_ = nullptr;
+    cv_done_.wait(lock, [&] {
+      return active_ == 0 &&
+             task.remaining.load(std::memory_order_acquire) <= 0;
+    });
+  }
+  if (task.error) std::rethrow_exception(task.error);
+}
+
+void ThreadPool::parallel_for(index_t begin, index_t end,
+                              const std::function<void(index_t)>& body) {
+  const std::function<void(index_t, index_t)> chunked =
+      [&body](index_t b, index_t e) {
+        for (index_t i = b; i < e; ++i) body(i);
+      };
+  parallel_for_chunked(begin, end, chunked);
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool;
+  return pool;
+}
+
+void parallel_for(index_t begin, index_t end,
+                  const std::function<void(index_t)>& body) {
+  ThreadPool::global().parallel_for(begin, end, body);
+}
+
+void parallel_for_chunked(index_t begin, index_t end,
+                          const std::function<void(index_t, index_t)>& body) {
+  ThreadPool::global().parallel_for_chunked(begin, end, body);
+}
+
+}  // namespace turb

@@ -1,0 +1,81 @@
+// Shared-memory parallelism: a lazily-started thread pool with a
+// parallel_for that chunks an index range over the workers.
+//
+// The pool is the single parallel substrate for the whole library (FFT
+// batches, GEMM tiles, LBM row sweeps, per-sample dataset generation), in the
+// spirit of the OpenMP worksharing idiom but without an OpenMP dependency.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace turb {
+
+/// Fixed-size worker pool executing [begin, end) index-range tasks.
+class ThreadPool {
+ public:
+  /// @param num_threads worker count; 0 means hardware_concurrency().
+  explicit ThreadPool(std::size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t size() const { return workers_.size() + 1; }
+
+  /// Run body(i) for i in [begin, end), splitting the range across workers.
+  /// Blocks until every index has been processed. Exceptions thrown by the
+  /// body are captured and rethrown (first one wins) on the calling thread.
+  void parallel_for(index_t begin, index_t end,
+                    const std::function<void(index_t)>& body);
+
+  /// Chunked variant: body(chunk_begin, chunk_end) — lets the body amortise
+  /// per-call overhead over a contiguous subrange.
+  void parallel_for_chunked(
+      index_t begin, index_t end,
+      const std::function<void(index_t, index_t)>& body);
+
+  /// Process-wide default pool (size from TURBFNO_THREADS or hardware).
+  static ThreadPool& global();
+
+ private:
+  struct Task {
+    const std::function<void(index_t, index_t)>* body = nullptr;
+    index_t begin = 0;
+    index_t end = 0;
+    index_t chunk = 1;
+    std::atomic<index_t> next{0};
+    std::atomic<index_t> remaining{0};
+    std::exception_ptr error;
+    std::mutex error_mutex;
+  };
+
+  void worker_loop();
+  static void run_task(Task& task);
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable cv_work_;
+  std::condition_variable cv_done_;
+  Task* current_ = nullptr;
+  std::size_t generation_ = 0;
+  std::size_t active_ = 0;
+  bool stop_ = false;
+};
+
+/// Convenience wrapper over the global pool.
+void parallel_for(index_t begin, index_t end,
+                  const std::function<void(index_t)>& body);
+
+/// Chunked convenience wrapper over the global pool.
+void parallel_for_chunked(index_t begin, index_t end,
+                          const std::function<void(index_t, index_t)>& body);
+
+}  // namespace turb

@@ -1,0 +1,228 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "analysis/lyapunov.hpp"
+#include "analysis/stats.hpp"
+#include "lbm/initializer.hpp"
+#include "ns/solver.hpp"
+#include "ns/spectral_ops.hpp"
+#include "util/rng.hpp"
+
+namespace turb::analysis {
+namespace {
+
+TEST(Stats, FieldStatsOnKnownField) {
+  TensorD f({4});
+  f[0] = 1.0; f[1] = 2.0; f[2] = 3.0; f[3] = 4.0;
+  const FieldStats s = field_stats(f);
+  EXPECT_DOUBLE_EQ(s.mean, 2.5);
+  EXPECT_NEAR(s.stddev, std::sqrt(1.25), 1e-12);
+  EXPECT_NEAR(s.frobenius, std::sqrt(30.0), 1e-12);
+}
+
+TEST(Stats, ProjectionOfIdenticalFieldsIsOne) {
+  Rng rng(1);
+  TensorD f({64});
+  f.fill_normal(rng, 0.0, 1.0);
+  EXPECT_NEAR(normalized_projection(f, f), 1.0, 1e-12);
+}
+
+TEST(Stats, ProjectionOfOrthogonalFieldsIsZero) {
+  const index_t n = 64;
+  TensorD a({n}), b({n});
+  for (index_t i = 0; i < n; ++i) {
+    const double x = 2.0 * std::numbers::pi * static_cast<double>(i) / n;
+    a[i] = std::sin(x);
+    b[i] = std::cos(x);
+  }
+  EXPECT_NEAR(normalized_projection(a, b), 0.0, 1e-12);
+}
+
+TEST(Stats, ProjectionOfOppositeFieldsIsMinusOne) {
+  Rng rng(2);
+  TensorD a({32});
+  a.fill_normal(rng, 0.0, 1.0);
+  TensorD b = a;
+  b *= -3.0;
+  EXPECT_NEAR(normalized_projection(a, b), -1.0, 1e-12);
+}
+
+TEST(Stats, PearsonInvariantToAffineMaps) {
+  Rng rng(3);
+  TensorD a({128});
+  a.fill_normal(rng, 0.0, 1.0);
+  TensorD b = a;
+  b *= 2.5;
+  for (index_t i = 0; i < b.size(); ++i) b[i] += 7.0;
+  EXPECT_NEAR(pearson_correlation(a, b), 1.0, 1e-12);
+}
+
+TEST(Stats, PearsonOfIndependentFieldsNearZero) {
+  Rng rng(4);
+  TensorD a({20000}), b({20000});
+  a.fill_normal(rng, 0.0, 1.0);
+  b.fill_normal(rng, 0.0, 1.0);
+  EXPECT_NEAR(pearson_correlation(a, b), 0.0, 0.03);
+}
+
+TEST(Stats, RelativeL2Difference) {
+  TensorD a({2}), b({2});
+  a[0] = 3.0; a[1] = 0.0;
+  b[0] = 0.0; b[1] = 4.0;
+  // ‖a−b‖ = 5, ‖b‖ = 4.
+  EXPECT_NEAR(relative_l2_difference(a, b), 1.25, 1e-12);
+}
+
+TEST(Stats, KineticEnergyOfTaylorGreen) {
+  const auto field = lbm::taylor_green_velocity(64, 64, 1.0);
+  // ⟨sin²cos²⟩ = 1/4 per component → KE = ½(¼+¼) = ¼.
+  EXPECT_NEAR(kinetic_energy(field.u1, field.u2), 0.25, 1e-12);
+}
+
+TEST(Stats, EnstrophyOfTaylorGreen) {
+  const auto field = lbm::taylor_green_velocity(64, 64, 1.0);
+  const TensorD omega = ns::vorticity_from_velocity(field.u1, field.u2);
+  // ω = 2k sin sin with k = 2π → ⟨ω²⟩ = 4k²·¼ = k².
+  const double k = 2.0 * std::numbers::pi;
+  EXPECT_NEAR(enstrophy(omega), k * k, 1e-9);
+}
+
+TEST(Normalizer, FitApplyGivesUnitGaussianStats) {
+  Rng rng(5);
+  TensorD f({10000});
+  f.fill_normal(rng, 3.0, 2.0);
+  const Normalizer norm = Normalizer::fit(f);
+  EXPECT_NEAR(norm.mean(), 3.0, 0.1);
+  EXPECT_NEAR(norm.stddev(), 2.0, 0.1);
+  norm.apply(f);
+  const FieldStats s = field_stats(f);
+  EXPECT_NEAR(s.mean, 0.0, 1e-10);
+  EXPECT_NEAR(s.stddev, 1.0, 1e-10);
+}
+
+TEST(Normalizer, ApplyInvertRoundTrip) {
+  Rng rng(6);
+  TensorD f({100});
+  f.fill_normal(rng, -1.0, 0.5);
+  TensorD orig = f;
+  const Normalizer norm(2.0, 3.0);
+  norm.apply(f);
+  norm.invert(f);
+  for (index_t i = 0; i < f.size(); ++i) ASSERT_NEAR(f[i], orig[i], 1e-12);
+}
+
+TEST(Normalizer, FloatOverloadMatchesDouble) {
+  Rng rng(7);
+  TensorF f({50});
+  f.fill_normal(rng, 1.0, 2.0);
+  TensorF g = f;
+  const Normalizer norm(0.5, 2.0);
+  norm.apply(g);
+  for (index_t i = 0; i < f.size(); ++i) {
+    ASSERT_NEAR(g[i], (f[i] - 0.5f) / 2.0f, 1e-6f);
+  }
+}
+
+TEST(Normalizer, RejectsConstantField) {
+  TensorD f({10}, 5.0);
+  EXPECT_THROW(Normalizer::fit(f), CheckError);
+}
+
+// --- Lyapunov ----------------------------------------------------------------
+
+TEST(Lyapunov, RecoversExactExponentialRate) {
+  const double lambda = 2.15;
+  const double delta0 = 1e-2;
+  LyapunovEstimator est(delta0);
+  for (int i = 1; i <= 50; ++i) {
+    const double t = 0.01 * i;
+    est.record(t, delta0 * std::exp(lambda * t));
+  }
+  EXPECT_NEAR(est.weighted_exponent(), lambda, 1e-10);
+  EXPECT_NEAR(est.lyapunov_time(), 1.0 / lambda, 1e-10);
+}
+
+TEST(Lyapunov, SaturationCutoffExcludesPlateau) {
+  const double lambda = 1.0;
+  const double delta0 = 1e-3;
+  LyapunovEstimator est(delta0);
+  // Exponential growth until saturation at 1.0, then plateau.
+  for (int i = 1; i <= 100; ++i) {
+    const double t = 0.1 * i;
+    est.record(t, std::min(delta0 * std::exp(lambda * t), 1.0));
+  }
+  // With all points, the plateau drags the estimate down…
+  const double raw = est.weighted_exponent(1.1);
+  // …with the cutoff, the growth phase dominates.
+  const double cut = est.weighted_exponent(0.5);
+  EXPECT_LT(raw, cut);
+  EXPECT_NEAR(cut, lambda, 0.05);
+}
+
+TEST(Lyapunov, FieldSeparationMatchesNorm) {
+  TensorD a({3}), b({3});
+  a[0] = 1.0; a[1] = 2.0; a[2] = 2.0;
+  EXPECT_NEAR(field_separation(a, b), 3.0, 1e-12);
+}
+
+TEST(Lyapunov, NegativeExponentGivesInfiniteTime) {
+  LyapunovEstimator est(1.0);
+  for (int i = 1; i <= 10; ++i) {
+    est.record(0.1 * i, std::exp(-0.5 * 0.1 * i));
+  }
+  EXPECT_LT(est.weighted_exponent(), 0.0);
+  EXPECT_TRUE(std::isinf(est.lyapunov_time()));
+}
+
+TEST(Lyapunov, RejectsBadInputs) {
+  EXPECT_THROW(LyapunovEstimator(0.0), CheckError);
+  LyapunovEstimator est(1e-2);
+  EXPECT_THROW(est.record(0.0, 1.0), CheckError);
+  EXPECT_THROW(est.record(1.0, 0.0), CheckError);
+}
+
+TEST(Lyapunov, TurbulentFlowSeparatesPerturbedTrajectories) {
+  // Integration test of the paper's §IV methodology on the real solver:
+  // two NS trajectories with a small initial perturbation must separate by
+  // orders of magnitude within a convective time at moderate Re.
+  ns::NsConfig cfg;
+  cfg.n = 48;
+  cfg.viscosity = 2e-4;
+  cfg.dt = 1e-3;
+  ns::SpectralNsSolver a(cfg), b(cfg);
+  Rng rng(8);
+  const auto field = lbm::random_vortex_velocity(cfg.n, cfg.n, 4.0, 1.0, rng);
+  a.set_velocity(field.u1, field.u2);
+
+  // Band-limited perturbation: white noise would sit at high k, where it
+  // decays viscously before chaotic amplification can act on it.
+  TensorD u1p = field.u1;
+  Rng prng(9);
+  const auto bump = lbm::random_vortex_velocity(cfg.n, cfg.n, 4.0, 1.0, prng);
+  u1p.add_scaled(bump.u1, 1e-6);
+  b.set_velocity(u1p, field.u2);
+
+  TensorD a1, a2, b1, b2;
+  a.velocity(a1, a2);
+  b.velocity(b1, b2);
+  const double sep0 = field_separation(a1, b1);
+  ASSERT_GT(sep0, 0.0);
+
+  LyapunovEstimator est(sep0);
+  for (int block = 0; block < 16; ++block) {
+    a.step(100);
+    b.step(100);
+    a.velocity(a1, a2);
+    b.velocity(b1, b2);
+    est.record_fields(a.time(), a1, b1);
+  }
+  // Chaotic separation: a positive finite-time exponent and visible growth
+  // over 1.6 convective times.
+  EXPECT_GT(est.series().back().separation, 3.0 * sep0);
+  EXPECT_GT(est.weighted_exponent(), 0.0);
+}
+
+}  // namespace
+}  // namespace turb::analysis

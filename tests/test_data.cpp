@@ -1,0 +1,288 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+
+#include "analysis/stats.hpp"
+#include "data/generator.hpp"
+#include "data/windows.hpp"
+
+namespace turb::data {
+namespace {
+
+GeneratorConfig tiny_config() {
+  GeneratorConfig cfg;
+  cfg.grid = 16;
+  cfg.u0 = 0.05;
+  cfg.reynolds = 200.0;
+  cfg.burn_in_tc = 0.05;
+  cfg.t_end_tc = 0.3;
+  cfg.dt_tc = 0.05;
+  cfg.seed = 99;
+  return cfg;
+}
+
+TEST(Generator, ConvectiveTimeSteps) {
+  GeneratorConfig cfg = tiny_config();
+  EXPECT_NEAR(convective_time_steps(cfg), 16.0 / 0.05, 1e-12);
+}
+
+TEST(Generator, SampleShapesAndTimes) {
+  const GeneratorConfig cfg = tiny_config();
+  const SnapshotSeries series = generate_sample(cfg, 0);
+  EXPECT_EQ(series.steps(), 7);  // t = 0, 0.05, …, 0.3
+  EXPECT_EQ(series.height(), 16);
+  EXPECT_EQ(series.width(), 16);
+  ASSERT_EQ(series.times.size(), 7u);
+  EXPECT_NEAR(series.times[3], 0.15, 1e-12);
+  EXPECT_EQ(series.u1.shape(), (Shape{7, 16, 16}));
+  EXPECT_EQ(series.omega.shape(), (Shape{7, 16, 16}));
+}
+
+TEST(Generator, FieldsAreFiniteAndNondimensional) {
+  const SnapshotSeries series = generate_sample(tiny_config(), 1);
+  for (index_t i = 0; i < series.u1.size(); ++i) {
+    ASSERT_TRUE(std::isfinite(series.u1[i]));
+    ASSERT_TRUE(std::isfinite(series.omega[i]));
+  }
+  // Non-dimensionalised by U₀: initial max velocity magnitude ≈ O(1).
+  double umax = 0.0;
+  for (index_t i = 0; i < 16 * 16; ++i) {
+    umax = std::max(umax, static_cast<double>(std::abs(series.u1[i])));
+  }
+  EXPECT_GT(umax, 0.1);
+  EXPECT_LT(umax, 3.0);
+}
+
+TEST(Generator, EnergyDecaysOverTrajectory) {
+  const SnapshotSeries series = generate_sample(tiny_config(), 2);
+  const index_t frame = 16 * 16;
+  const auto ke_at = [&](index_t s) {
+    double acc = 0.0;
+    for (index_t i = 0; i < frame; ++i) {
+      const double a = series.u1[s * frame + i];
+      const double b = series.u2[s * frame + i];
+      acc += a * a + b * b;
+    }
+    return acc;
+  };
+  EXPECT_LT(ke_at(6), ke_at(0));
+}
+
+TEST(Generator, DeterministicPerSampleIndex) {
+  const GeneratorConfig cfg = tiny_config();
+  const SnapshotSeries a = generate_sample(cfg, 5);
+  const SnapshotSeries b = generate_sample(cfg, 5);
+  for (index_t i = 0; i < a.u1.size(); ++i) ASSERT_EQ(a.u1[i], b.u1[i]);
+}
+
+TEST(Generator, SamplesDifferByIndex) {
+  const GeneratorConfig cfg = tiny_config();
+  const SnapshotSeries a = generate_sample(cfg, 0);
+  const SnapshotSeries b = generate_sample(cfg, 1);
+  double diff = 0.0;
+  for (index_t i = 0; i < a.u1.size(); ++i) {
+    diff = std::max(diff, std::abs(static_cast<double>(a.u1[i]) - b.u1[i]));
+  }
+  EXPECT_GT(diff, 1e-3);
+}
+
+TEST(Generator, UniformNoiseInitBurnsInSmoothly) {
+  GeneratorConfig cfg = tiny_config();
+  cfg.init = InitKind::kUniformNoise;
+  cfg.burn_in_tc = 0.2;  // the paper's burn-in dissipates the discontinuities
+  const SnapshotSeries series = generate_sample(cfg, 3);
+  for (index_t i = 0; i < series.u1.size(); ++i) {
+    ASSERT_TRUE(std::isfinite(series.u1[i]));
+  }
+}
+
+TEST(Generator, EnsembleCountAndCadence) {
+  const TurbulenceDataset ds = generate_ensemble(tiny_config(), 3);
+  EXPECT_EQ(ds.num_samples(), 3);
+  EXPECT_DOUBLE_EQ(ds.dt_tc, 0.05);
+  for (const auto& s : ds.samples) EXPECT_EQ(s.steps(), 7);
+}
+
+TEST(Serialize, DatasetRoundTrip) {
+  const TurbulenceDataset ds = generate_ensemble(tiny_config(), 2);
+  const std::string path = testing::TempDir() + "/roundtrip.tds";
+  save_dataset(path, ds);
+  const TurbulenceDataset loaded = load_dataset(path);
+  EXPECT_EQ(loaded.num_samples(), 2);
+  EXPECT_DOUBLE_EQ(loaded.dt_tc, ds.dt_tc);
+  for (index_t s = 0; s < 2; ++s) {
+    const auto& a = ds.samples[static_cast<std::size_t>(s)];
+    const auto& b = loaded.samples[static_cast<std::size_t>(s)];
+    ASSERT_EQ(a.times, b.times);
+    for (index_t i = 0; i < a.u1.size(); ++i) {
+      ASSERT_EQ(a.u1[i], b.u1[i]);
+      ASSERT_EQ(a.u2[i], b.u2[i]);
+      ASSERT_EQ(a.omega[i], b.omega[i]);
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, RejectsNonDatasetFile) {
+  const std::string path = testing::TempDir() + "/bogus.tds";
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  std::fputs("not a dataset", f);
+  std::fclose(f);
+  EXPECT_THROW(load_dataset(path), CheckError);
+  std::remove(path.c_str());
+}
+
+// --- windows -------------------------------------------------------------------
+
+TurbulenceDataset windowed_dataset() {
+  // Deterministic synthetic data set: value encodes (sample, step) so window
+  // chronology is checkable.
+  TurbulenceDataset ds;
+  ds.dt_tc = 0.1;
+  const index_t steps = 12, h = 4, w = 4;
+  for (index_t s = 0; s < 2; ++s) {
+    SnapshotSeries series;
+    series.u1 = TensorF({steps, h, w});
+    series.u2 = TensorF({steps, h, w});
+    series.omega = TensorF({steps, h, w});
+    for (index_t t = 0; t < steps; ++t) {
+      series.times.push_back(0.1 * static_cast<double>(t));
+      for (index_t i = 0; i < h * w; ++i) {
+        const float v = static_cast<float>(100 * s + t);
+        series.u1[t * h * w + i] = v;
+        series.u2[t * h * w + i] = -v;
+        series.omega[t * h * w + i] = 2.0f * v;
+      }
+    }
+    ds.samples.push_back(std::move(series));
+  }
+  return ds;
+}
+
+TEST(Windows, CountsAndShapes) {
+  const TurbulenceDataset ds = windowed_dataset();
+  WindowSpec spec;
+  spec.in_channels = 4;
+  spec.out_channels = 2;
+  TensorF x, y;
+  make_channel_windows(ds, Field::kU1, spec, x, y);
+  // Per sample: 12 − 6 + 1 = 7 windows; 2 samples → 14.
+  EXPECT_EQ(x.shape(), (Shape{14, 4, 4, 4}));
+  EXPECT_EQ(y.shape(), (Shape{14, 2, 4, 4}));
+}
+
+TEST(Windows, ChronologyIsRespected) {
+  const TurbulenceDataset ds = windowed_dataset();
+  WindowSpec spec;
+  spec.in_channels = 3;
+  spec.out_channels = 2;
+  TensorF x, y;
+  make_channel_windows(ds, Field::kU1, spec, x, y);
+  const index_t frame = 16;
+  for (index_t n = 0; n < x.dim(0); ++n) {
+    // Channels within a window increase by exactly 1 step.
+    for (index_t c = 1; c < 3; ++c) {
+      ASSERT_EQ(x[n * 3 * frame + c * frame] - x[n * 3 * frame + (c - 1) * frame],
+                1.0f);
+    }
+    // First target continues directly after the last input.
+    ASSERT_EQ(y[n * 2 * frame] - x[n * 3 * frame + 2 * frame], 1.0f);
+  }
+}
+
+TEST(Windows, EqualDataVolumeGivesMoreWindowsForFewerOutputs) {
+  const TurbulenceDataset ds = windowed_dataset();
+  TensorF x1, y1, x5, y5;
+  WindowSpec spec;
+  spec.in_channels = 5;
+  spec.out_channels = 1;
+  make_channel_windows(ds, Field::kOmega, spec, x1, y1);
+  spec.out_channels = 5;
+  make_channel_windows(ds, Field::kOmega, spec, x5, y5);
+  EXPECT_GT(x1.dim(0), x5.dim(0));
+}
+
+TEST(Windows, MaxWindowsCapsOutput) {
+  const TurbulenceDataset ds = windowed_dataset();
+  WindowSpec spec;
+  spec.in_channels = 3;
+  spec.out_channels = 1;
+  spec.max_windows = 5;
+  TensorF x, y;
+  make_channel_windows(ds, Field::kU2, spec, x, y);
+  EXPECT_EQ(x.dim(0), 5);
+  EXPECT_EQ(y.dim(0), 5);
+}
+
+TEST(Windows, CapDrawsFromBothSamples) {
+  const TurbulenceDataset ds = windowed_dataset();
+  WindowSpec spec;
+  spec.in_channels = 3;
+  spec.out_channels = 1;
+  spec.max_windows = 4;
+  TensorF x, y;
+  make_channel_windows(ds, Field::kU1, spec, x, y);
+  // Round-robin enumeration: first windows alternate samples (values ~0 and
+  // ~100).
+  bool saw_small = false, saw_large = false;
+  for (index_t n = 0; n < 4; ++n) {
+    const float v = x[n * 3 * 16];
+    (v < 50.0f ? saw_small : saw_large) = true;
+  }
+  EXPECT_TRUE(saw_small);
+  EXPECT_TRUE(saw_large);
+}
+
+TEST(Windows, StrideSkipsStarts) {
+  const TurbulenceDataset ds = windowed_dataset();
+  WindowSpec spec;
+  spec.in_channels = 4;
+  spec.out_channels = 2;
+  spec.stride = 3;
+  TensorF x, y;
+  make_channel_windows(ds, Field::kU1, spec, x, y);
+  // Starts 0, 3, 6 per sample → 3 windows × 2 samples.
+  EXPECT_EQ(x.dim(0), 6);
+}
+
+TEST(Windows, VelocityWindowsFoldComponents) {
+  const TurbulenceDataset ds = windowed_dataset();
+  WindowSpec spec;
+  spec.in_channels = 4;
+  spec.out_channels = 2;
+  TensorF x, y;
+  make_velocity_channel_windows(ds, spec, x, y);
+  EXPECT_EQ(x.dim(0), 28);  // 2× the single-field count
+  // u2 windows are the negated u1 windows in this synthetic set.
+  bool found_negative = false;
+  for (index_t n = 0; n < x.dim(0); ++n) {
+    if (x[n * 4 * 16] < 0.0f) found_negative = true;
+  }
+  EXPECT_TRUE(found_negative);
+}
+
+TEST(Windows, BlockWindowsForFno3d) {
+  const TurbulenceDataset ds = windowed_dataset();
+  TensorF x, y;
+  make_block_windows(ds, Field::kOmega, 4, x, y);
+  // Starts at stride = block: 0, 4 → need [0,8) and [4,12) → 2 per sample.
+  EXPECT_EQ(x.shape(), (Shape{4, 1, 4, 4, 4}));
+  EXPECT_EQ(y.shape(), (Shape{4, 1, 4, 4, 4}));
+  // Y block follows X block immediately (omega stores 2×step, so one step
+  // is a difference of 2).
+  const index_t frame = 16;
+  ASSERT_EQ(y[0] - x[0 * 4 * frame + 3 * frame], 2.0f);
+}
+
+TEST(Windows, TooShortTrajectoryRejected) {
+  const TurbulenceDataset ds = windowed_dataset();
+  WindowSpec spec;
+  spec.in_channels = 10;
+  spec.out_channels = 5;  // needs 15 > 12 steps
+  TensorF x, y;
+  EXPECT_THROW(make_channel_windows(ds, Field::kU1, spec, x, y), CheckError);
+}
+
+}  // namespace
+}  // namespace turb::data

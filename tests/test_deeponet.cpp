@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include "nn/deeponet.hpp"
+#include "nn/gradcheck.hpp"
+#include "nn/loss.hpp"
+#include "nn/optimizer.hpp"
+#include "util/rng.hpp"
+
+namespace turb::nn {
+namespace {
+
+DeepONetConfig tiny_config() {
+  DeepONetConfig cfg;
+  cfg.in_channels = 3;
+  cfg.out_channels = 2;
+  cfg.height = 8;
+  cfg.width = 8;
+  cfg.basis = 6;
+  cfg.branch_hidden = 16;
+  cfg.trunk_hidden = 8;
+  cfg.trunk_layers = 3;
+  return cfg;
+}
+
+TensorF random_input(const DeepONetConfig& cfg, index_t batch,
+                     std::uint64_t seed) {
+  Rng rng(seed);
+  TensorF x({batch, cfg.in_channels, cfg.height, cfg.width});
+  x.fill_normal(rng, 0.0, 1.0);
+  return x;
+}
+
+TEST(DeepONet, OutputShape) {
+  Rng rng(1);
+  DeepONet model(tiny_config(), rng);
+  const TensorF y = model.forward(random_input(tiny_config(), 3, 2));
+  EXPECT_EQ(y.shape(), (Shape{3, 2, 8, 8}));
+}
+
+TEST(DeepONet, ParameterCountMatchesClosedForm) {
+  Rng rng(3);
+  const DeepONetConfig cfg = tiny_config();
+  DeepONet model(cfg, rng);
+  EXPECT_EQ(model.parameter_count(), deeponet_parameter_count(cfg));
+}
+
+TEST(DeepONet, GradcheckInput) {
+  Rng rng(5);
+  DeepONet model(tiny_config(), rng);
+  const auto res =
+      gradcheck_input(model, random_input(tiny_config(), 2, 6), 50, 1e-2f);
+  EXPECT_TRUE(res.ok(3e-2)) << "max rel err " << res.max_rel_error;
+}
+
+TEST(DeepONet, GradcheckParameters) {
+  Rng rng(7);
+  DeepONet model(tiny_config(), rng);
+  const auto res = gradcheck_parameters(
+      model, random_input(tiny_config(), 2, 8), 25, 1e-2f);
+  EXPECT_TRUE(res.ok(3e-2)) << "max rel err " << res.max_rel_error;
+}
+
+TEST(DeepONet, RejectsWrongGrid) {
+  Rng rng(9);
+  DeepONet model(tiny_config(), rng);
+  TensorF bad({1, 3, 16, 16});
+  EXPECT_THROW(model.forward(bad), CheckError);
+}
+
+TEST(DeepONet, OverfitsTinyProblem) {
+  Rng rng(11);
+  DeepONetConfig cfg = tiny_config();
+  DeepONet model(cfg, rng);
+  TensorF x = random_input(cfg, 4, 12);
+  TensorF y({4, 2, 8, 8});
+  // A low-rank target a DeepONet can represent: a per-sample functional of
+  // the input (the channel mean) modulated by a fixed spatial profile.
+  for (index_t n = 0; n < 4; ++n) {
+    for (index_t c = 0; c < 2; ++c) {
+      double mean = 0.0;
+      for (index_t j = 0; j < 64; ++j) mean += x[(n * 3 + c) * 64 + j];
+      mean /= 64.0;
+      for (index_t iy = 0; iy < 8; ++iy) {
+        for (index_t ix = 0; ix < 8; ++ix) {
+          const auto profile =
+              static_cast<float>(0.5 + static_cast<double>(ix) / 8.0);
+          y[(n * 2 + c) * 64 + iy * 8 + ix] =
+              static_cast<float>(mean) * profile;
+        }
+      }
+    }
+  }
+  Adam::Config acfg;
+  acfg.lr = 5e-3;
+  acfg.weight_decay = 0.0;
+  Adam opt(model.parameters(), acfg);
+  double first = 0.0, last = 0.0;
+  for (int it = 0; it < 400; ++it) {
+    opt.zero_grad();
+    const TensorF pred = model.forward(x);
+    const LossResult loss = relative_l2_loss(pred, y);
+    (void)model.backward(loss.grad);
+    opt.step();
+    if (it == 0) first = loss.value;
+    last = loss.value;
+  }
+  EXPECT_LT(last, 0.5 * first);
+  EXPECT_LT(last, 0.45);
+}
+
+TEST(DeepONet, DeterministicForward) {
+  Rng rng(13);
+  DeepONet model(tiny_config(), rng);
+  const TensorF x = random_input(tiny_config(), 1, 14);
+  const TensorF a = model.forward(x);
+  const TensorF b = model.forward(x);
+  for (index_t i = 0; i < a.size(); ++i) ASSERT_EQ(a[i], b[i]);
+}
+
+}  // namespace
+}  // namespace turb::nn

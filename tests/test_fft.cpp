@@ -1,0 +1,348 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+#include <numbers>
+#include <vector>
+
+#include "fft/fftnd.hpp"
+#include "fft/plan.hpp"
+#include "fft/real.hpp"
+#include "tensor/tensor.hpp"
+#include "util/rng.hpp"
+
+namespace turb::fft {
+namespace {
+
+using cpxd = std::complex<double>;
+
+/// O(n²) reference DFT.
+std::vector<cpxd> naive_dft(const std::vector<cpxd>& x, bool inverse = false) {
+  const auto n = static_cast<index_t>(x.size());
+  std::vector<cpxd> out(x.size());
+  const double sign = inverse ? 2.0 : -2.0;
+  for (index_t k = 0; k < n; ++k) {
+    cpxd acc{};
+    for (index_t j = 0; j < n; ++j) {
+      const double ang = sign * std::numbers::pi * static_cast<double>(j * k) /
+                         static_cast<double>(n);
+      acc += x[static_cast<std::size_t>(j)] * cpxd(std::cos(ang), std::sin(ang));
+    }
+    out[static_cast<std::size_t>(k)] = inverse ? acc / static_cast<double>(n) : acc;
+  }
+  return out;
+}
+
+class FftLengths : public ::testing::TestWithParam<index_t> {};
+
+TEST_P(FftLengths, ForwardMatchesNaiveDft) {
+  const index_t n = GetParam();
+  Rng rng(100 + static_cast<std::uint64_t>(n));
+  std::vector<cpxd> x(static_cast<std::size_t>(n));
+  for (auto& v : x) v = {rng.normal(), rng.normal()};
+  const auto ref = naive_dft(x);
+
+  std::vector<cpxd> y = x;
+  PlanC2C<double> plan(n);
+  plan.forward(y.data());
+  for (index_t k = 0; k < n; ++k) {
+    ASSERT_NEAR(std::abs(y[static_cast<std::size_t>(k)] -
+                         ref[static_cast<std::size_t>(k)]),
+                0.0, 1e-9 * static_cast<double>(n))
+        << "n=" << n << " k=" << k;
+  }
+}
+
+TEST_P(FftLengths, RoundTripIsIdentity) {
+  const index_t n = GetParam();
+  Rng rng(200 + static_cast<std::uint64_t>(n));
+  std::vector<cpxd> x(static_cast<std::size_t>(n));
+  for (auto& v : x) v = {rng.normal(), rng.normal()};
+  std::vector<cpxd> y = x;
+  PlanC2C<double> plan(n);
+  plan.forward(y.data());
+  plan.inverse(y.data());
+  for (std::size_t k = 0; k < x.size(); ++k) {
+    ASSERT_NEAR(std::abs(y[k] - x[k]), 0.0, 1e-10 * static_cast<double>(n));
+  }
+}
+
+TEST_P(FftLengths, ParsevalHolds) {
+  const index_t n = GetParam();
+  Rng rng(300 + static_cast<std::uint64_t>(n));
+  std::vector<cpxd> x(static_cast<std::size_t>(n));
+  for (auto& v : x) v = {rng.normal(), rng.normal()};
+  double time_energy = 0.0;
+  for (const auto& v : x) time_energy += std::norm(v);
+  PlanC2C<double> plan(n);
+  plan.forward(x.data());
+  double freq_energy = 0.0;
+  for (const auto& v : x) freq_energy += std::norm(v);
+  EXPECT_NEAR(freq_energy / static_cast<double>(n), time_energy,
+              1e-8 * time_energy);
+}
+
+INSTANTIATE_TEST_SUITE_P(PowersOfTwoAndNot, FftLengths,
+                         ::testing::Values(1, 2, 3, 4, 5, 7, 8, 10, 12, 16, 30,
+                                           64, 100, 128, 256));
+
+TEST(Fft, DeltaGivesFlatSpectrum) {
+  const index_t n = 16;
+  std::vector<cpxd> x(16, cpxd{});
+  x[0] = 1.0;
+  PlanC2C<double> plan(n);
+  plan.forward(x.data());
+  for (const auto& v : x) {
+    EXPECT_NEAR(v.real(), 1.0, 1e-12);
+    EXPECT_NEAR(v.imag(), 0.0, 1e-12);
+  }
+}
+
+TEST(Fft, PureToneLandsInSingleBin) {
+  const index_t n = 64;
+  std::vector<cpxd> x(static_cast<std::size_t>(n));
+  const index_t mode = 5;
+  for (index_t j = 0; j < n; ++j) {
+    const double ang = 2.0 * std::numbers::pi * static_cast<double>(mode * j) /
+                       static_cast<double>(n);
+    x[static_cast<std::size_t>(j)] = {std::cos(ang), std::sin(ang)};
+  }
+  PlanC2C<double> plan(n);
+  plan.forward(x.data());
+  for (index_t k = 0; k < n; ++k) {
+    const double expected = (k == mode) ? static_cast<double>(n) : 0.0;
+    ASSERT_NEAR(std::abs(x[static_cast<std::size_t>(k)]), expected, 1e-9);
+  }
+}
+
+TEST(Fft, LinearityProperty) {
+  const index_t n = 40;  // Bluestein path
+  Rng rng(41);
+  std::vector<cpxd> a(static_cast<std::size_t>(n)), b(a), sum(a);
+  for (index_t i = 0; i < n; ++i) {
+    a[static_cast<std::size_t>(i)] = {rng.normal(), rng.normal()};
+    b[static_cast<std::size_t>(i)] = {rng.normal(), rng.normal()};
+    sum[static_cast<std::size_t>(i)] = 2.0 * a[static_cast<std::size_t>(i)] -
+                                       3.0 * b[static_cast<std::size_t>(i)];
+  }
+  PlanC2C<double> plan(n);
+  plan.forward(a.data());
+  plan.forward(b.data());
+  plan.forward(sum.data());
+  for (std::size_t k = 0; k < sum.size(); ++k) {
+    ASSERT_NEAR(std::abs(sum[k] - (2.0 * a[k] - 3.0 * b[k])), 0.0, 1e-9);
+  }
+}
+
+TEST(Fft, FloatPrecisionAcceptable) {
+  const index_t n = 128;
+  Rng rng(55);
+  std::vector<std::complex<float>> x(static_cast<std::size_t>(n));
+  std::vector<cpxd> xd(static_cast<std::size_t>(n));
+  for (index_t i = 0; i < n; ++i) {
+    const double re = rng.normal(), im = rng.normal();
+    x[static_cast<std::size_t>(i)] = {static_cast<float>(re),
+                                      static_cast<float>(im)};
+    xd[static_cast<std::size_t>(i)] = {re, im};
+  }
+  PlanC2C<float> plan(n);
+  plan.forward(x.data());
+  const auto ref = naive_dft(xd);
+  for (std::size_t k = 0; k < x.size(); ++k) {
+    ASSERT_NEAR(std::abs(cpxd(x[k]) - ref[k]), 0.0, 1e-3);
+  }
+}
+
+// --- real transforms -------------------------------------------------------
+
+class RfftLengths : public ::testing::TestWithParam<index_t> {};
+
+TEST_P(RfftLengths, MatchesNaiveRealDft) {
+  const index_t n = GetParam();
+  Rng rng(400 + static_cast<std::uint64_t>(n));
+  std::vector<double> x(static_cast<std::size_t>(n));
+  std::vector<cpxd> xc(static_cast<std::size_t>(n));
+  for (index_t i = 0; i < n; ++i) {
+    x[static_cast<std::size_t>(i)] = rng.normal();
+    xc[static_cast<std::size_t>(i)] = x[static_cast<std::size_t>(i)];
+  }
+  const auto ref = naive_dft(xc);
+  std::vector<cpxd> out(static_cast<std::size_t>(n / 2 + 1));
+  rfft(x.data(), out.data(), n);
+  for (index_t k = 0; k <= n / 2; ++k) {
+    ASSERT_NEAR(std::abs(out[static_cast<std::size_t>(k)] -
+                         ref[static_cast<std::size_t>(k)]),
+                0.0, 1e-9 * static_cast<double>(n))
+        << "k=" << k;
+  }
+}
+
+TEST_P(RfftLengths, RoundTripIsIdentity) {
+  const index_t n = GetParam();
+  Rng rng(500 + static_cast<std::uint64_t>(n));
+  std::vector<double> x(static_cast<std::size_t>(n));
+  for (auto& v : x) v = rng.normal();
+  std::vector<cpxd> spec(static_cast<std::size_t>(n / 2 + 1));
+  rfft(x.data(), spec.data(), n);
+  std::vector<double> back(static_cast<std::size_t>(n));
+  irfft(spec.data(), back.data(), n);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    ASSERT_NEAR(back[i], x[i], 1e-10 * static_cast<double>(n));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(EvenLengths, RfftLengths,
+                         ::testing::Values(2, 4, 6, 8, 10, 16, 20, 64, 256));
+
+TEST(Rfft, OddLengthRejected) {
+  std::vector<double> x(5, 0.0);
+  std::vector<cpxd> out(3);
+  EXPECT_THROW(rfft(x.data(), out.data(), 5), CheckError);
+}
+
+TEST(Rfft, DcBinIsMean) {
+  const index_t n = 32;
+  std::vector<double> x(static_cast<std::size_t>(n), 3.25);
+  std::vector<cpxd> out(static_cast<std::size_t>(n / 2 + 1));
+  rfft(x.data(), out.data(), n);
+  EXPECT_NEAR(out[0].real(), 3.25 * static_cast<double>(n), 1e-10);
+  for (std::size_t k = 1; k < out.size(); ++k) {
+    ASSERT_NEAR(std::abs(out[k]), 0.0, 1e-10);
+  }
+}
+
+TEST(Rfft, CosineHitsSymmetricBins) {
+  const index_t n = 64;
+  const index_t mode = 7;
+  std::vector<double> x(static_cast<std::size_t>(n));
+  for (index_t j = 0; j < n; ++j) {
+    x[static_cast<std::size_t>(j)] =
+        std::cos(2.0 * std::numbers::pi * static_cast<double>(mode * j) /
+                 static_cast<double>(n));
+  }
+  std::vector<cpxd> out(static_cast<std::size_t>(n / 2 + 1));
+  rfft(x.data(), out.data(), n);
+  for (index_t k = 0; k <= n / 2; ++k) {
+    const double expected = (k == mode) ? static_cast<double>(n) / 2.0 : 0.0;
+    ASSERT_NEAR(std::abs(out[static_cast<std::size_t>(k)]), expected, 1e-9);
+  }
+}
+
+// --- N-D transforms ---------------------------------------------------------
+
+TEST(Fftnd, Rfft2RoundTrip) {
+  Rng rng(61);
+  TensorD x({3, 2, 16, 12});  // (batch, channel, H, W)
+  x.fill_normal(rng, 0.0, 1.0);
+  const auto spec = rfftn(x, 2);
+  EXPECT_EQ(spec.shape(), (Shape{3, 2, 16, 7}));
+  const TensorD back = irfftn(spec, 2, 12);
+  ASSERT_EQ(back.shape(), x.shape());
+  for (index_t i = 0; i < x.size(); ++i) {
+    ASSERT_NEAR(back[i], x[i], 1e-10);
+  }
+}
+
+TEST(Fftnd, Rfft3RoundTripNonPow2Axis) {
+  Rng rng(62);
+  TensorD x({2, 1, 10, 8, 8});  // temporal axis 10 exercises Bluestein
+  x.fill_normal(rng, 0.0, 1.0);
+  const auto spec = rfftn(x, 3);
+  EXPECT_EQ(spec.shape(), (Shape{2, 1, 10, 8, 5}));
+  const TensorD back = irfftn(spec, 3, 8);
+  for (index_t i = 0; i < x.size(); ++i) {
+    ASSERT_NEAR(back[i], x[i], 1e-9);
+  }
+}
+
+TEST(Fftnd, PlaneWaveLandsInSingleBin2D) {
+  const index_t nh = 16, nw = 16;
+  TensorD x({1, 1, nh, nw});
+  const index_t kh = 3, kw = 2;
+  for (index_t i = 0; i < nh; ++i) {
+    for (index_t j = 0; j < nw; ++j) {
+      x(0, 0, i, j) = std::cos(
+          2.0 * std::numbers::pi *
+          (static_cast<double>(kh * i) / nh + static_cast<double>(kw * j) / nw));
+    }
+  }
+  const auto spec = rfftn(x, 2);
+  // Energy should concentrate in (kh, kw) and its Hermitian partner (nh-kh, kw).
+  double total = 0.0;
+  for (index_t i = 0; i < spec.size(); ++i) total += std::norm(spec[i]);
+  const double peak = std::norm(spec(0, 0, kh, kw)) +
+                      std::norm(spec(0, 0, nh - kh, kw));
+  EXPECT_NEAR(peak / total, 1.0, 1e-9);
+}
+
+TEST(Fftnd, DcBin2DIsSum) {
+  TensorD x({1, 1, 8, 8});
+  Rng rng(63);
+  x.fill_uniform(rng, 0.0, 1.0);
+  const auto spec = rfftn(x, 2);
+  EXPECT_NEAR(spec(0, 0, 0, 0).real(), x.sum(), 1e-9);
+  EXPECT_NEAR(spec(0, 0, 0, 0).imag(), 0.0, 1e-9);
+}
+
+TEST(Fftnd, BatchesAreIndependent) {
+  Rng rng(64);
+  TensorD x({2, 1, 8, 8});
+  x.fill_normal(rng, 0.0, 1.0);
+  // Transform of the batch must equal per-sample transforms.
+  const auto spec = rfftn(x, 2);
+  TensorD single({1, 1, 8, 8});
+  for (index_t i = 0; i < 64; ++i) single[i] = x[64 + i];
+  const auto spec1 = rfftn(single, 2);
+  for (index_t i = 0; i < spec1.size(); ++i) {
+    ASSERT_NEAR(std::abs(spec[spec1.size() + i] - spec1[i]), 0.0, 1e-12);
+  }
+}
+
+TEST(Fftnd, C2cAxisMatchesNaivePerLine) {
+  Rng rng(65);
+  TensorCD x({4, 6, 3});
+  for (index_t i = 0; i < x.size(); ++i) x[i] = {rng.normal(), rng.normal()};
+  TensorCD y = x;
+  c2c_axis(y, 1, /*forward=*/true);
+  // Check one line: (batch 2, inner 1).
+  std::vector<cpxd> line(6);
+  for (index_t j = 0; j < 6; ++j) line[static_cast<std::size_t>(j)] = x(2, j, 1);
+  const auto ref = naive_dft(line);
+  for (index_t j = 0; j < 6; ++j) {
+    ASSERT_NEAR(std::abs(y(2, j, 1) - ref[static_cast<std::size_t>(j)]), 0.0,
+                1e-10);
+  }
+}
+
+TEST(Fftnd, C2cAxisInverseRoundTrip) {
+  Rng rng(66);
+  TensorCD x({5, 10, 4});
+  for (index_t i = 0; i < x.size(); ++i) x[i] = {rng.normal(), rng.normal()};
+  TensorCD y = x;
+  c2c_axis(y, 1, true);
+  c2c_axis(y, 1, false);
+  for (index_t i = 0; i < x.size(); ++i) {
+    ASSERT_NEAR(std::abs(y[i] - x[i]), 0.0, 1e-10);
+  }
+}
+
+TEST(Fftnd, ParsevalIn2D) {
+  Rng rng(67);
+  TensorD x({1, 1, 32, 32});
+  x.fill_normal(rng, 0.0, 1.0);
+  const auto spec = rfftn(x, 2);
+  double freq_energy = 0.0;
+  const index_t nh = 32, nwr = 17;
+  for (index_t i = 0; i < nh; ++i) {
+    for (index_t j = 0; j < nwr; ++j) {
+      // Interior rfft bins represent two Hermitian-symmetric coefficients.
+      const double w = (j == 0 || j == nwr - 1) ? 1.0 : 2.0;
+      freq_energy += w * std::norm(spec(0, 0, i, j));
+    }
+  }
+  EXPECT_NEAR(freq_energy / (32.0 * 32.0), x.squared_norm(),
+              1e-8 * x.squared_norm());
+}
+
+}  // namespace
+}  // namespace turb::fft

@@ -1,0 +1,287 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <numeric>
+#include <sstream>
+#include <vector>
+
+#include "util/cli.hpp"
+#include "util/common.hpp"
+#include "util/image.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+#include "util/thread_pool.hpp"
+#include "util/timer.hpp"
+
+namespace turb {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanAndVariance) {
+  Rng rng(3);
+  const int n = 200000;
+  double sum = 0.0, sum2 = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double u = rng.uniform();
+    sum += u;
+    sum2 += u * u;
+  }
+  const double mean = sum / n;
+  const double var = sum2 / n - mean * mean;
+  EXPECT_NEAR(mean, 0.5, 5e-3);
+  EXPECT_NEAR(var, 1.0 / 12.0, 5e-3);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(11);
+  const int n = 200000;
+  double sum = 0.0, sum2 = 0.0, sum3 = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sum2 += x * x;
+    sum3 += x * x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 2e-2);
+  EXPECT_NEAR(sum2 / n, 1.0, 3e-2);
+  EXPECT_NEAR(sum3 / n, 0.0, 8e-2);
+}
+
+TEST(Rng, NormalWithParams) {
+  Rng rng(13);
+  const int n = 100000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += rng.normal(5.0, 2.0);
+  EXPECT_NEAR(sum / n, 5.0, 5e-2);
+}
+
+TEST(Rng, UniformIntBounds) {
+  Rng rng(17);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 100000; ++i) {
+    const auto v = rng.uniform_int(10);
+    ASSERT_LT(v, 10u);
+    ++counts[static_cast<std::size_t>(v)];
+  }
+  for (const int c : counts) {
+    EXPECT_GT(c, 9000);
+    EXPECT_LT(c, 11000);
+  }
+}
+
+TEST(Rng, UniformIntOne) {
+  Rng rng(19);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.uniform_int(1), 0u);
+}
+
+TEST(Rng, SplitStreamsIndependent) {
+  Rng parent(23);
+  Rng child = parent.split();
+  // Child stream should not reproduce the parent stream.
+  Rng parent2(23);
+  parent2.next_u64();  // same advance as split() consumed
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (child.next_u64() == parent2.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(ThreadPool, ParallelForCoversRange) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(0, 1000, [&](index_t i) {
+    hits[static_cast<std::size_t>(i)].fetch_add(1);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForEmptyRange) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.parallel_for(5, 5, [&](index_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPool, ChunkedCoversRangeOnce) {
+  ThreadPool pool(3);
+  std::atomic<index_t> total{0};
+  pool.parallel_for_chunked(10, 537, [&](index_t b, index_t e) {
+    EXPECT_LE(b, e);
+    total.fetch_add(e - b);
+  });
+  EXPECT_EQ(total.load(), 527);
+}
+
+TEST(ThreadPool, SingleThreadFallback) {
+  ThreadPool pool(1);
+  index_t sum = 0;
+  pool.parallel_for(0, 100, [&](index_t i) { sum += i; });
+  EXPECT_EQ(sum, 4950);
+}
+
+TEST(ThreadPool, ExceptionPropagates) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.parallel_for(0, 100,
+                                 [&](index_t i) {
+                                   if (i == 57) throw std::runtime_error("x");
+                                 }),
+               std::runtime_error);
+}
+
+TEST(ThreadPool, ReusableAfterException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.parallel_for(0, 10, [](index_t) { throw std::runtime_error("x"); }),
+      std::runtime_error);
+  std::atomic<int> count{0};
+  pool.parallel_for(0, 10, [&](index_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 10);
+}
+
+TEST(ThreadPool, ManySequentialDispatches) {
+  ThreadPool pool(4);
+  for (int round = 0; round < 200; ++round) {
+    std::atomic<int> count{0};
+    pool.parallel_for(0, 37, [&](index_t) { count.fetch_add(1); });
+    ASSERT_EQ(count.load(), 37);
+  }
+}
+
+TEST(ThreadPool, GlobalPoolWorks) {
+  std::atomic<index_t> sum{0};
+  parallel_for(0, 1000, [&](index_t i) { sum.fetch_add(i); });
+  EXPECT_EQ(sum.load(), 499500);
+}
+
+TEST(Cli, ParsesKeyValueForms) {
+  const char* argv[] = {"prog",   "--alpha", "1.5",   "--beta=2",
+                        "--flag", "--gamma", "hello", "pos1"};
+  CliArgs args(8, argv);
+  EXPECT_DOUBLE_EQ(args.get_double("alpha", 0.0), 1.5);
+  EXPECT_EQ(args.get_int("beta", 0), 2);
+  EXPECT_TRUE(args.get_flag("flag"));
+  EXPECT_EQ(args.get("gamma", ""), "hello");
+  ASSERT_EQ(args.positional().size(), 1u);
+  EXPECT_EQ(args.positional()[0], "pos1");
+}
+
+TEST(Cli, DefaultsWhenMissing) {
+  const char* argv[] = {"prog"};
+  CliArgs args(1, argv);
+  EXPECT_EQ(args.get_int("n", 42), 42);
+  EXPECT_DOUBLE_EQ(args.get_double("x", 2.5), 2.5);
+  EXPECT_FALSE(args.get_flag("v"));
+  EXPECT_FALSE(args.has("n"));
+}
+
+TEST(Cli, RejectsNonNumeric) {
+  const char* argv[] = {"prog", "--n", "abc"};
+  CliArgs args(3, argv);
+  EXPECT_THROW(static_cast<void>(args.get_int("n", 0)), CheckError);
+}
+
+TEST(Table, CsvRoundTrip) {
+  SeriesTable t("demo");
+  t.set_columns({"t", "value"});
+  t.add_row({0.0, 1.0});
+  t.add_row({0.5, 2.5});
+  std::ostringstream os;
+  t.print_csv(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("# begin-csv demo"), std::string::npos);
+  EXPECT_NE(s.find("t,value"), std::string::npos);
+  EXPECT_NE(s.find("0.5,2.5"), std::string::npos);
+  EXPECT_NE(s.find("# end-csv"), std::string::npos);
+}
+
+TEST(Table, LabelledRows) {
+  SeriesTable t("labelled");
+  t.set_columns({"params"});
+  t.add_row("fno-w40", {6995922.0});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_NE(os.str().find("fno-w40,6995922"), std::string::npos);
+}
+
+TEST(Table, RowWidthMismatchThrows) {
+  SeriesTable t("bad");
+  t.set_columns({"a", "b"});
+  EXPECT_THROW(t.add_row({1.0}), CheckError);
+}
+
+TEST(Image, WritesPgmHeader) {
+  std::vector<double> field(16 * 8, 0.0);
+  field[3] = 1.0;
+  const std::string path = testing::TempDir() + "/turb_test.pgm";
+  write_pgm(path, field, 8, 16);
+  std::ifstream is(path, std::ios::binary);
+  std::string magic, dims1, dims2, maxv;
+  is >> magic >> dims1 >> dims2 >> maxv;
+  EXPECT_EQ(magic, "P5");
+  EXPECT_EQ(dims1, "16");
+  EXPECT_EQ(dims2, "8");
+  EXPECT_EQ(maxv, "255");
+  std::remove(path.c_str());
+}
+
+TEST(Image, WritesPpmWithExpectedSize) {
+  std::vector<double> field(32 * 32);
+  for (std::size_t i = 0; i < field.size(); ++i) {
+    field[i] = std::sin(static_cast<double>(i));
+  }
+  const std::string path = testing::TempDir() + "/turb_test.ppm";
+  write_ppm_diverging(path, field, 32, 32);
+  std::ifstream is(path, std::ios::binary | std::ios::ate);
+  ASSERT_TRUE(is.good());
+  // header "P6\n32 32\n255\n" = 13 bytes + payload 32*32*3
+  EXPECT_EQ(static_cast<long>(is.tellg()), 13 + 32 * 32 * 3);
+  std::remove(path.c_str());
+}
+
+TEST(Timer, MeasuresElapsed) {
+  Timer t;
+  volatile double x = 0.0;
+  for (int i = 0; i < 100000; ++i) x = x + 1e-9;
+  EXPECT_GE(t.seconds(), 0.0);
+  t.reset();
+  EXPECT_LT(t.seconds(), 1.0);
+}
+
+TEST(Check, ThrowsWithMessage) {
+  try {
+    TURB_CHECK_MSG(1 == 2, "custom " << 42);
+    FAIL() << "should have thrown";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("custom 42"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace turb
