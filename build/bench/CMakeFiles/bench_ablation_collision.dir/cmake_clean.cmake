@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_collision.dir/bench_ablation_collision.cpp.o"
+  "CMakeFiles/bench_ablation_collision.dir/bench_ablation_collision.cpp.o.d"
+  "bench_ablation_collision"
+  "bench_ablation_collision.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_collision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_dealiasing.dir/bench_ablation_dealiasing.cpp.o"
+  "CMakeFiles/bench_ablation_dealiasing.dir/bench_ablation_dealiasing.cpp.o.d"
+  "bench_ablation_dealiasing"
+  "bench_ablation_dealiasing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_dealiasing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

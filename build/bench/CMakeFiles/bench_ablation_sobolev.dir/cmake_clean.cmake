@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_sobolev.dir/bench_ablation_sobolev.cpp.o"
+  "CMakeFiles/bench_ablation_sobolev.dir/bench_ablation_sobolev.cpp.o.d"
+  "bench_ablation_sobolev"
+  "bench_ablation_sobolev.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_sobolev.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_spectral_conv.dir/bench_ablation_spectral_conv.cpp.o"
+  "CMakeFiles/bench_ablation_spectral_conv.dir/bench_ablation_spectral_conv.cpp.o.d"
+  "bench_ablation_spectral_conv"
+  "bench_ablation_spectral_conv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_spectral_conv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

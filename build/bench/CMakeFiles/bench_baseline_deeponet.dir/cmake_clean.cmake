@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_baseline_deeponet.dir/bench_baseline_deeponet.cpp.o"
+  "CMakeFiles/bench_baseline_deeponet.dir/bench_baseline_deeponet.cpp.o.d"
+  "bench_baseline_deeponet"
+  "bench_baseline_deeponet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_baseline_deeponet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_lyapunov.dir/bench_fig4_lyapunov.cpp.o"
+  "CMakeFiles/bench_fig4_lyapunov.dir/bench_fig4_lyapunov.cpp.o.d"
+  "bench_fig4_lyapunov"
+  "bench_fig4_lyapunov.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_lyapunov.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_channels.dir/bench_fig5_channels.cpp.o"
+  "CMakeFiles/bench_fig5_channels.dir/bench_fig5_channels.cpp.o.d"
+  "bench_fig5_channels"
+  "bench_fig5_channels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_channels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_hybrid_stats.dir/bench_fig8_hybrid_stats.cpp.o"
+  "CMakeFiles/bench_fig8_hybrid_stats.dir/bench_fig8_hybrid_stats.cpp.o.d"
+  "bench_fig8_hybrid_stats"
+  "bench_fig8_hybrid_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_hybrid_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_inference_cost.dir/bench_inference_cost.cpp.o"
+  "CMakeFiles/bench_inference_cost.dir/bench_inference_cost.cpp.o.d"
+  "bench_inference_cost"
+  "bench_inference_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_inference_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

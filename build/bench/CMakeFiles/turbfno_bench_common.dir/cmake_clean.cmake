@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/turbfno_bench_common.dir/common.cpp.o"
+  "CMakeFiles/turbfno_bench_common.dir/common.cpp.o.d"
+  "libturbfno_bench_common.a"
+  "libturbfno_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/turbfno_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libturbfno_bench_common.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/decaying_turbulence.dir/decaying_turbulence.cpp.o"
+  "CMakeFiles/decaying_turbulence.dir/decaying_turbulence.cpp.o.d"
+  "decaying_turbulence"
+  "decaying_turbulence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/decaying_turbulence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/forced_turbulence.dir/forced_turbulence.cpp.o"
+  "CMakeFiles/forced_turbulence.dir/forced_turbulence.cpp.o.d"
+  "forced_turbulence"
+  "forced_turbulence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/forced_turbulence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hybrid_longrun.dir/hybrid_longrun.cpp.o"
+  "CMakeFiles/hybrid_longrun.dir/hybrid_longrun.cpp.o.d"
+  "hybrid_longrun"
+  "hybrid_longrun.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hybrid_longrun.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lyapunov_analysis.dir/lyapunov_analysis.cpp.o"
+  "CMakeFiles/lyapunov_analysis.dir/lyapunov_analysis.cpp.o.d"
+  "lyapunov_analysis"
+  "lyapunov_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lyapunov_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

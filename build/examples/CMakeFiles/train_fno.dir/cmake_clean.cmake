@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/train_fno.dir/train_fno.cpp.o"
+  "CMakeFiles/train_fno.dir/train_fno.cpp.o.d"
+  "train_fno"
+  "train_fno.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/train_fno.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

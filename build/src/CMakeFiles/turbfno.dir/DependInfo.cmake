@@ -1,0 +1,52 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/lyapunov.cpp" "src/CMakeFiles/turbfno.dir/analysis/lyapunov.cpp.o" "gcc" "src/CMakeFiles/turbfno.dir/analysis/lyapunov.cpp.o.d"
+  "/root/repo/src/analysis/stats.cpp" "src/CMakeFiles/turbfno.dir/analysis/stats.cpp.o" "gcc" "src/CMakeFiles/turbfno.dir/analysis/stats.cpp.o.d"
+  "/root/repo/src/core/fno_propagator.cpp" "src/CMakeFiles/turbfno.dir/core/fno_propagator.cpp.o" "gcc" "src/CMakeFiles/turbfno.dir/core/fno_propagator.cpp.o.d"
+  "/root/repo/src/core/hybrid.cpp" "src/CMakeFiles/turbfno.dir/core/hybrid.cpp.o" "gcc" "src/CMakeFiles/turbfno.dir/core/hybrid.cpp.o.d"
+  "/root/repo/src/core/metrics.cpp" "src/CMakeFiles/turbfno.dir/core/metrics.cpp.o" "gcc" "src/CMakeFiles/turbfno.dir/core/metrics.cpp.o.d"
+  "/root/repo/src/core/pde_propagator.cpp" "src/CMakeFiles/turbfno.dir/core/pde_propagator.cpp.o" "gcc" "src/CMakeFiles/turbfno.dir/core/pde_propagator.cpp.o.d"
+  "/root/repo/src/data/generator.cpp" "src/CMakeFiles/turbfno.dir/data/generator.cpp.o" "gcc" "src/CMakeFiles/turbfno.dir/data/generator.cpp.o.d"
+  "/root/repo/src/data/serialize.cpp" "src/CMakeFiles/turbfno.dir/data/serialize.cpp.o" "gcc" "src/CMakeFiles/turbfno.dir/data/serialize.cpp.o.d"
+  "/root/repo/src/data/windows.cpp" "src/CMakeFiles/turbfno.dir/data/windows.cpp.o" "gcc" "src/CMakeFiles/turbfno.dir/data/windows.cpp.o.d"
+  "/root/repo/src/fft/fft.cpp" "src/CMakeFiles/turbfno.dir/fft/fft.cpp.o" "gcc" "src/CMakeFiles/turbfno.dir/fft/fft.cpp.o.d"
+  "/root/repo/src/fno/fno.cpp" "src/CMakeFiles/turbfno.dir/fno/fno.cpp.o" "gcc" "src/CMakeFiles/turbfno.dir/fno/fno.cpp.o.d"
+  "/root/repo/src/fno/rollout.cpp" "src/CMakeFiles/turbfno.dir/fno/rollout.cpp.o" "gcc" "src/CMakeFiles/turbfno.dir/fno/rollout.cpp.o.d"
+  "/root/repo/src/fno/trainer.cpp" "src/CMakeFiles/turbfno.dir/fno/trainer.cpp.o" "gcc" "src/CMakeFiles/turbfno.dir/fno/trainer.cpp.o.d"
+  "/root/repo/src/lbm/initializer.cpp" "src/CMakeFiles/turbfno.dir/lbm/initializer.cpp.o" "gcc" "src/CMakeFiles/turbfno.dir/lbm/initializer.cpp.o.d"
+  "/root/repo/src/lbm/solver.cpp" "src/CMakeFiles/turbfno.dir/lbm/solver.cpp.o" "gcc" "src/CMakeFiles/turbfno.dir/lbm/solver.cpp.o.d"
+  "/root/repo/src/nn/activation.cpp" "src/CMakeFiles/turbfno.dir/nn/activation.cpp.o" "gcc" "src/CMakeFiles/turbfno.dir/nn/activation.cpp.o.d"
+  "/root/repo/src/nn/dataloader.cpp" "src/CMakeFiles/turbfno.dir/nn/dataloader.cpp.o" "gcc" "src/CMakeFiles/turbfno.dir/nn/dataloader.cpp.o.d"
+  "/root/repo/src/nn/deeponet.cpp" "src/CMakeFiles/turbfno.dir/nn/deeponet.cpp.o" "gcc" "src/CMakeFiles/turbfno.dir/nn/deeponet.cpp.o.d"
+  "/root/repo/src/nn/gradcheck.cpp" "src/CMakeFiles/turbfno.dir/nn/gradcheck.cpp.o" "gcc" "src/CMakeFiles/turbfno.dir/nn/gradcheck.cpp.o.d"
+  "/root/repo/src/nn/linear.cpp" "src/CMakeFiles/turbfno.dir/nn/linear.cpp.o" "gcc" "src/CMakeFiles/turbfno.dir/nn/linear.cpp.o.d"
+  "/root/repo/src/nn/loss.cpp" "src/CMakeFiles/turbfno.dir/nn/loss.cpp.o" "gcc" "src/CMakeFiles/turbfno.dir/nn/loss.cpp.o.d"
+  "/root/repo/src/nn/optimizer.cpp" "src/CMakeFiles/turbfno.dir/nn/optimizer.cpp.o" "gcc" "src/CMakeFiles/turbfno.dir/nn/optimizer.cpp.o.d"
+  "/root/repo/src/nn/physics_loss.cpp" "src/CMakeFiles/turbfno.dir/nn/physics_loss.cpp.o" "gcc" "src/CMakeFiles/turbfno.dir/nn/physics_loss.cpp.o.d"
+  "/root/repo/src/nn/serialize.cpp" "src/CMakeFiles/turbfno.dir/nn/serialize.cpp.o" "gcc" "src/CMakeFiles/turbfno.dir/nn/serialize.cpp.o.d"
+  "/root/repo/src/nn/sobolev_loss.cpp" "src/CMakeFiles/turbfno.dir/nn/sobolev_loss.cpp.o" "gcc" "src/CMakeFiles/turbfno.dir/nn/sobolev_loss.cpp.o.d"
+  "/root/repo/src/nn/spectral_conv.cpp" "src/CMakeFiles/turbfno.dir/nn/spectral_conv.cpp.o" "gcc" "src/CMakeFiles/turbfno.dir/nn/spectral_conv.cpp.o.d"
+  "/root/repo/src/ns/solver.cpp" "src/CMakeFiles/turbfno.dir/ns/solver.cpp.o" "gcc" "src/CMakeFiles/turbfno.dir/ns/solver.cpp.o.d"
+  "/root/repo/src/ns/spectral_ops.cpp" "src/CMakeFiles/turbfno.dir/ns/spectral_ops.cpp.o" "gcc" "src/CMakeFiles/turbfno.dir/ns/spectral_ops.cpp.o.d"
+  "/root/repo/src/tensor/tensor.cpp" "src/CMakeFiles/turbfno.dir/tensor/tensor.cpp.o" "gcc" "src/CMakeFiles/turbfno.dir/tensor/tensor.cpp.o.d"
+  "/root/repo/src/util/cli.cpp" "src/CMakeFiles/turbfno.dir/util/cli.cpp.o" "gcc" "src/CMakeFiles/turbfno.dir/util/cli.cpp.o.d"
+  "/root/repo/src/util/image.cpp" "src/CMakeFiles/turbfno.dir/util/image.cpp.o" "gcc" "src/CMakeFiles/turbfno.dir/util/image.cpp.o.d"
+  "/root/repo/src/util/scale.cpp" "src/CMakeFiles/turbfno.dir/util/scale.cpp.o" "gcc" "src/CMakeFiles/turbfno.dir/util/scale.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "src/CMakeFiles/turbfno.dir/util/table.cpp.o" "gcc" "src/CMakeFiles/turbfno.dir/util/table.cpp.o.d"
+  "/root/repo/src/util/thread_pool.cpp" "src/CMakeFiles/turbfno.dir/util/thread_pool.cpp.o" "gcc" "src/CMakeFiles/turbfno.dir/util/thread_pool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

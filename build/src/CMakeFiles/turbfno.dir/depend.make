@@ -1,0 +1,2 @@
+# Empty dependencies file for turbfno.
+# This may be replaced when dependencies are built.

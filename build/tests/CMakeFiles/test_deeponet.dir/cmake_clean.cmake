@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_deeponet.dir/test_deeponet.cpp.o"
+  "CMakeFiles/test_deeponet.dir/test_deeponet.cpp.o.d"
+  "test_deeponet"
+  "test_deeponet.pdb"
+  "test_deeponet[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_deeponet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

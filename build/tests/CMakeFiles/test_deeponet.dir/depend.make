@@ -1,0 +1,2 @@
+# Empty dependencies file for test_deeponet.
+# This may be replaced when dependencies are built.

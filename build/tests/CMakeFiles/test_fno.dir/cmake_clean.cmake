@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fno.dir/test_fno.cpp.o"
+  "CMakeFiles/test_fno.dir/test_fno.cpp.o.d"
+  "test_fno"
+  "test_fno.pdb"
+  "test_fno[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fno.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

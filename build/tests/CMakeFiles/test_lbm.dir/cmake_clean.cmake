@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lbm.dir/test_lbm.cpp.o"
+  "CMakeFiles/test_lbm.dir/test_lbm.cpp.o.d"
+  "test_lbm"
+  "test_lbm.pdb"
+  "test_lbm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lbm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
