@@ -8,6 +8,7 @@
 #include <cstdio>
 #include <iostream>
 
+#include "common.hpp"
 #include "lbm/initializer.hpp"
 #include "lbm/solver.hpp"
 #include "util/scale.hpp"
@@ -40,7 +41,8 @@ index_t survival_steps(lbm::Collision collision, double viscosity,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  turb::bench::init(argc, argv);
   std::printf("==== Ablation: BGK vs entropic collision stability ====\n");
   const index_t max_steps = 2000;
 

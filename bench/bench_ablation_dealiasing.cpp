@@ -8,6 +8,7 @@
 #include <cstdio>
 #include <iostream>
 
+#include "common.hpp"
 #include "lbm/initializer.hpp"
 #include "ns/solver.hpp"
 #include "ns/spectral_ops.hpp"
@@ -34,7 +35,8 @@ TensorD restrict_field(const TensorD& fine, index_t coarse_n) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  turb::bench::init(argc, argv);
   std::printf("==== Ablation: spectral dealiasing on/off ====\n");
   const index_t n = 32;
   const double viscosity = 2e-4;

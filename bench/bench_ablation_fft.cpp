@@ -6,6 +6,8 @@
 // temporal axis.
 #include <benchmark/benchmark.h>
 
+#include "util/cli.hpp"
+
 #include "fft/fftnd.hpp"
 #include "util/rng.hpp"
 
@@ -74,4 +76,13 @@ BENCHMARK(BM_IrfftnRoundTrip)->Arg(32)->Arg(64);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main: accept the shared runtime flags (--threads, --metrics-out)
+// in addition to the --benchmark_* family.
+int main(int argc, char** argv) {
+  const turb::CliArgs args(argc, argv);
+  turb::apply_runtime_flags(args);
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  return 0;
+}

@@ -71,7 +71,8 @@ PiResult train_with_weight(double div_weight, const TensorF& x,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  turb::bench::init(argc, argv);
   bench::print_header("Ablation: physics-informed divergence penalty");
   const bench::ScaleParams p = bench::scale_params();
 

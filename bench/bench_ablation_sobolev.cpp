@@ -82,7 +82,8 @@ SobolevResult train_with_s(double s, const TensorF& x, const TensorF& y,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  turb::bench::init(argc, argv);
   bench::print_header("Ablation: Sobolev (gradient-aware) loss");
   const bench::ScaleParams p = bench::scale_params();
 

@@ -14,7 +14,8 @@
 
 #include "common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  turb::bench::init(argc, argv);
   using namespace turb;
   bench::print_header("Ablation: spectral bias of the surrogate rollout");
   bench::HybridSetup setup = bench::train_hybrid_setup();

@@ -4,6 +4,8 @@
 // profile (two extra transforms plus the weight-gradient contraction).
 #include <benchmark/benchmark.h>
 
+#include "util/cli.hpp"
+
 #include "nn/spectral_conv.hpp"
 #include "util/rng.hpp"
 
@@ -62,4 +64,13 @@ BENCHMARK(BM_SpectralConv3dForward)->Arg(4)->Arg(8);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main: accept the shared runtime flags (--threads, --metrics-out)
+// in addition to the --benchmark_* family.
+int main(int argc, char** argv) {
+  const turb::CliArgs args(argc, argv);
+  turb::apply_runtime_flags(args);
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  return 0;
+}

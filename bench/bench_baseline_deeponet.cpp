@@ -70,7 +70,8 @@ BaselineResult train_deeponet(const TensorF& x, const TensorF& y,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  turb::bench::init(argc, argv);
   bench::print_header("Baseline: FNO vs DeepONet on identical windows");
   const bench::ScaleParams p = bench::scale_params();
 

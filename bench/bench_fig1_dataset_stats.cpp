@@ -6,7 +6,8 @@
 
 #include "common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  turb::bench::init(argc, argv);
   using namespace turb;
   bench::print_header("Fig 1: vorticity statistics over the ensemble");
   const data::TurbulenceDataset& dataset = bench::shared_dataset();

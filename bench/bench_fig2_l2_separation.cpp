@@ -7,7 +7,8 @@
 
 #include "common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  turb::bench::init(argc, argv);
   using namespace turb;
   bench::print_header("Fig 2: vorticity L2 separation from t=0");
   const data::TurbulenceDataset& dataset = bench::shared_dataset();

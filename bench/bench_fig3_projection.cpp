@@ -6,7 +6,8 @@
 
 #include "common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  turb::bench::init(argc, argv);
   using namespace turb;
   bench::print_header("Fig 3: normalised projection onto the initial field");
   const data::TurbulenceDataset& dataset = bench::shared_dataset();

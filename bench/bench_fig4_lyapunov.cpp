@@ -12,7 +12,8 @@
 
 #include "common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  turb::bench::init(argc, argv);
   using namespace turb;
   bench::print_header("Fig 4: Lyapunov exponents of u1 and u2");
   const bench::ScaleParams p = bench::scale_params();

@@ -13,7 +13,8 @@
 
 #include "common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  turb::bench::init(argc, argv);
   using namespace turb;
   bench::print_header("Fig 5: output-channel sweep at two widths");
   const bench::ScaleParams p = bench::scale_params();

@@ -38,7 +38,8 @@ double run_variant(const Variant& v, SeriesTable& table) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  turb::bench::init(argc, argv);
   bench::print_header("Fig 6: 2D FNO hyperparameter sweep (channels 5, 10)");
   const bench::ScaleParams p = bench::scale_params();
 

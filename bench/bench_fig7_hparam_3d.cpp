@@ -13,7 +13,8 @@
 
 #include "common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  turb::bench::init(argc, argv);
   using namespace turb;
   bench::print_header("Fig 7: 3D FNO hyperparameter sweep");
   const bench::ScaleParams p = bench::scale_params();

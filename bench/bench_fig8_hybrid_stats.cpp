@@ -12,7 +12,8 @@
 #include "common.hpp"
 #include "util/image.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  turb::bench::init(argc, argv);
   using namespace turb;
   bench::print_header("Fig 8: PDE vs FNO vs hybrid — global statistics");
   bench::HybridSetup setup = bench::train_hybrid_setup();

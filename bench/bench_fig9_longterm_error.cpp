@@ -9,7 +9,8 @@
 
 #include "common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  turb::bench::init(argc, argv);
   using namespace turb;
   bench::print_header("Fig 9: long-term K.E. and enstrophy percentage errors");
   bench::HybridSetup setup = bench::train_hybrid_setup();

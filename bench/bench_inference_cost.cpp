@@ -13,7 +13,8 @@
 #include "common.hpp"
 #include "util/timer.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  turb::bench::init(argc, argv);
   using namespace turb;
   bench::print_header("Inference cost: PDE window vs FNO surrogate");
   const bench::ScaleParams p = bench::scale_params();

@@ -70,7 +70,8 @@ double measure_epoch_seconds(const Row& row, const bench::ScaleParams& p) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  turb::bench::init(argc, argv);
   bench::print_header("Table I: parameter counts and training time");
   const bench::ScaleParams p = bench::scale_params();
 

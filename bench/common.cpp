@@ -3,7 +3,14 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "util/cli.hpp"
+
 namespace turb::bench {
+
+void init(int argc, const char* const* argv) {
+  const CliArgs args(argc, argv);
+  apply_runtime_flags(args);
+}
 
 ScaleParams scale_params() {
   ScaleParams p;
@@ -195,7 +202,8 @@ TrainEvalResult train_and_eval_2d(const fno::FnoConfig& config,
                                       test_y);
   norm.apply(test_x);
   norm.apply(test_y);
-  result.test_error = fno::evaluate_fno(model, test_x, test_y, options.batch);
+  result.test_error =
+      fno::evaluate_fno(model, test_x, test_y, options.batch).rel_l2;
 
   result.rollout_error = rollout_errors_2d(model, norm, 10);
   return result;
@@ -232,7 +240,8 @@ TrainEvalResult train_and_eval_3d(const fno::FnoConfig& config,
                            test_x, test_y);
   norm.apply(test_x);
   norm.apply(test_y);
-  result.test_error = fno::evaluate_fno(model, test_x, test_y, options.batch);
+  result.test_error =
+      fno::evaluate_fno(model, test_x, test_y, options.batch).rel_l2;
 
   result.rollout_error = rollout_errors_3d(model, norm, block);
   return result;

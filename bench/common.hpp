@@ -28,6 +28,11 @@ struct ScaleParams {
   index_t modes = 12;        ///< stands for the paper's 32 modes
 };
 
+/// Parse the shared runtime flags (--threads, --metrics-out) every bench
+/// accepts. Call first thing in main() — each Fig/Table bench then emits a
+/// machine-readable phase breakdown (obs::dump_json) alongside its CSV.
+void init(int argc, const char* const* argv);
+
 /// Parameters for the active TURBFNO_SCALE.
 ScaleParams scale_params();
 

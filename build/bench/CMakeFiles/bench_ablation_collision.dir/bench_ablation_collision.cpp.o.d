@@ -153,9 +153,13 @@ bench/CMakeFiles/bench_ablation_collision.dir/bench_ablation_collision.cpp.o: \
  /usr/include/c++/12/bits/locale_facets.tcc \
  /usr/include/c++/12/bits/basic_ios.tcc \
  /usr/include/c++/12/bits/ostream.tcc /usr/include/c++/12/istream \
- /usr/include/c++/12/bits/istream.tcc /root/repo/src/lbm/initializer.hpp \
- /root/repo/src/tensor/tensor.hpp /usr/include/c++/12/algorithm \
- /usr/include/c++/12/bits/stl_algo.h \
+ /usr/include/c++/12/bits/istream.tcc /root/repo/bench/common.hpp \
+ /usr/include/c++/12/vector /usr/include/c++/12/bits/stl_uninitialized.h \
+ /usr/include/c++/12/bits/stl_vector.h \
+ /usr/include/c++/12/bits/stl_bvector.h \
+ /usr/include/c++/12/bits/vector.tcc /root/repo/src/core/turbfno.hpp \
+ /root/repo/src/analysis/lyapunov.hpp /root/repo/src/tensor/tensor.hpp \
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/stl_tempbuf.h \
@@ -192,10 +196,69 @@ bench/CMakeFiles/bench_ablation_collision.dir/bench_ablation_collision.cpp.o: \
  /usr/include/c++/12/numeric /usr/include/c++/12/bits/stl_numeric.h \
  /usr/include/c++/12/bit /usr/include/c++/12/pstl/glue_numeric_defs.h \
  /usr/include/c++/12/span /usr/include/c++/12/cstddef \
- /usr/include/c++/12/vector /usr/include/c++/12/bits/stl_uninitialized.h \
- /usr/include/c++/12/bits/stl_vector.h \
- /usr/include/c++/12/bits/stl_bvector.h \
- /usr/include/c++/12/bits/vector.tcc /root/repo/src/util/common.hpp \
- /root/repo/src/util/rng.hpp /root/repo/src/lbm/solver.hpp \
- /root/repo/src/lbm/d2q9.hpp /root/repo/src/util/scale.hpp \
- /root/repo/src/util/table.hpp
+ /root/repo/src/util/common.hpp /root/repo/src/util/rng.hpp \
+ /root/repo/src/analysis/stats.hpp /root/repo/src/core/fno_propagator.hpp \
+ /root/repo/src/core/propagator.hpp /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /root/repo/src/fno/fno.hpp /usr/include/c++/12/memory \
+ /usr/include/c++/12/bits/stl_raw_storage_iter.h \
+ /usr/include/c++/12/bits/align.h \
+ /usr/include/c++/12/bits/uses_allocator.h \
+ /usr/include/c++/12/bits/unique_ptr.h /usr/include/c++/12/tuple \
+ /usr/include/c++/12/bits/shared_ptr.h \
+ /usr/include/c++/12/bits/shared_ptr_base.h \
+ /usr/include/c++/12/bits/allocated_ptr.h \
+ /usr/include/c++/12/ext/aligned_buffer.h \
+ /usr/include/c++/12/ext/concurrence.h \
+ /usr/include/c++/12/bits/shared_ptr_atomic.h \
+ /usr/include/c++/12/bits/atomic_base.h \
+ /usr/include/c++/12/bits/atomic_lockfree_defines.h \
+ /usr/include/c++/12/bits/atomic_wait.h /usr/include/c++/12/climits \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/limits.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/syslimits.h \
+ /usr/include/limits.h /usr/include/x86_64-linux-gnu/bits/posix1_lim.h \
+ /usr/include/x86_64-linux-gnu/bits/local_lim.h \
+ /usr/include/linux/limits.h \
+ /usr/include/x86_64-linux-gnu/bits/posix2_lim.h \
+ /usr/include/x86_64-linux-gnu/bits/xopen_lim.h \
+ /usr/include/x86_64-linux-gnu/bits/uio_lim.h /usr/include/unistd.h \
+ /usr/include/x86_64-linux-gnu/bits/posix_opt.h \
+ /usr/include/x86_64-linux-gnu/bits/environments.h \
+ /usr/include/x86_64-linux-gnu/bits/confname.h \
+ /usr/include/x86_64-linux-gnu/bits/getopt_posix.h \
+ /usr/include/x86_64-linux-gnu/bits/getopt_core.h \
+ /usr/include/x86_64-linux-gnu/bits/unistd_ext.h \
+ /usr/include/linux/close_range.h /usr/include/syscall.h \
+ /usr/include/x86_64-linux-gnu/sys/syscall.h \
+ /usr/include/x86_64-linux-gnu/asm/unistd.h \
+ /usr/include/x86_64-linux-gnu/asm/unistd_64.h \
+ /usr/include/x86_64-linux-gnu/bits/syscall.h \
+ /usr/include/c++/12/bits/std_mutex.h \
+ /usr/include/c++/12/backward/auto_ptr.h \
+ /usr/include/c++/12/bits/ranges_uninitialized.h \
+ /usr/include/c++/12/bits/uses_allocator_args.h \
+ /usr/include/c++/12/pstl/glue_memory_defs.h \
+ /root/repo/src/nn/activation.hpp /root/repo/src/nn/module.hpp \
+ /root/repo/src/nn/parameter.hpp /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h /root/repo/src/nn/linear.hpp \
+ /root/repo/src/nn/spectral_conv.hpp /root/repo/src/core/hybrid.hpp \
+ /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
+ /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
+ /usr/include/c++/12/bits/hashtable_policy.h \
+ /usr/include/c++/12/bits/enable_special_members.h \
+ /usr/include/c++/12/bits/node_handle.h \
+ /usr/include/c++/12/bits/unordered_map.h \
+ /usr/include/c++/12/bits/erase_if.h /root/repo/src/core/metrics.hpp \
+ /root/repo/src/core/pde_propagator.hpp /root/repo/src/ns/solver.hpp \
+ /root/repo/src/data/dataset.hpp /root/repo/src/data/generator.hpp \
+ /root/repo/src/lbm/solver.hpp /root/repo/src/lbm/d2q9.hpp \
+ /root/repo/src/data/windows.hpp /root/repo/src/nn/dataloader.hpp \
+ /root/repo/src/fno/rollout.hpp /root/repo/src/fno/trainer.hpp \
+ /root/repo/src/lbm/initializer.hpp /root/repo/src/nn/deeponet.hpp \
+ /root/repo/src/nn/loss.hpp /root/repo/src/nn/optimizer.hpp \
+ /root/repo/src/nn/physics_loss.hpp /root/repo/src/nn/serialize.hpp \
+ /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
+ /usr/include/c++/12/bits/stl_map.h \
+ /usr/include/c++/12/bits/stl_multimap.h \
+ /root/repo/src/nn/sobolev_loss.hpp /root/repo/src/ns/spectral_ops.hpp \
+ /root/repo/src/util/scale.hpp /root/repo/src/util/table.hpp

@@ -183,9 +183,9 @@ bench/CMakeFiles/bench_ablation_fft.dir/bench_ablation_fft.cpp.o: \
  /usr/include/c++/12/bits/exception_ptr.h \
  /usr/include/c++/12/bits/cxxabi_init_exception.h \
  /usr/include/c++/12/typeinfo /usr/include/c++/12/bits/nested_exception.h \
- /root/repo/src/fft/fftnd.hpp /usr/include/c++/12/complex \
- /usr/include/c++/12/cmath /usr/include/math.h \
- /usr/include/x86_64-linux-gnu/bits/math-vector.h \
+ /root/repo/src/util/cli.hpp /root/repo/src/fft/fftnd.hpp \
+ /usr/include/c++/12/complex /usr/include/c++/12/cmath \
+ /usr/include/math.h /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
  /usr/include/x86_64-linux-gnu/bits/flt-eval-method.h \
  /usr/include/x86_64-linux-gnu/bits/fp-logb.h \
@@ -240,7 +240,8 @@ bench/CMakeFiles/bench_ablation_fft.dir/bench_ablation_fft.cpp.o: \
  /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
  /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
  /usr/include/c++/12/bits/unique_lock.h /root/repo/src/fft/plan.hpp \
- /root/repo/src/util/common.hpp /root/repo/src/fft/real.hpp \
+ /root/repo/src/util/common.hpp /root/repo/src/obs/obs.hpp \
+ /usr/include/c++/12/chrono /root/repo/src/fft/real.hpp \
  /root/repo/src/tensor/tensor.hpp /usr/include/c++/12/array \
  /usr/include/c++/12/numeric /usr/include/c++/12/bits/stl_numeric.h \
  /usr/include/c++/12/pstl/glue_numeric_defs.h /usr/include/c++/12/span \

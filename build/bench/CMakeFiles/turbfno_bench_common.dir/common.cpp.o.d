@@ -263,4 +263,5 @@ bench/CMakeFiles/turbfno_bench_common.dir/common.cpp.o: \
  /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h \
  /root/repo/src/nn/sobolev_loss.hpp /root/repo/src/ns/spectral_ops.hpp \
- /root/repo/src/util/scale.hpp /root/repo/src/util/table.hpp
+ /root/repo/src/util/scale.hpp /root/repo/src/util/table.hpp \
+ /root/repo/src/util/cli.hpp

@@ -36,6 +36,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/nn/spectral_conv.cpp" "src/CMakeFiles/turbfno.dir/nn/spectral_conv.cpp.o" "gcc" "src/CMakeFiles/turbfno.dir/nn/spectral_conv.cpp.o.d"
   "/root/repo/src/ns/solver.cpp" "src/CMakeFiles/turbfno.dir/ns/solver.cpp.o" "gcc" "src/CMakeFiles/turbfno.dir/ns/solver.cpp.o.d"
   "/root/repo/src/ns/spectral_ops.cpp" "src/CMakeFiles/turbfno.dir/ns/spectral_ops.cpp.o" "gcc" "src/CMakeFiles/turbfno.dir/ns/spectral_ops.cpp.o.d"
+  "/root/repo/src/obs/obs.cpp" "src/CMakeFiles/turbfno.dir/obs/obs.cpp.o" "gcc" "src/CMakeFiles/turbfno.dir/obs/obs.cpp.o.d"
   "/root/repo/src/tensor/tensor.cpp" "src/CMakeFiles/turbfno.dir/tensor/tensor.cpp.o" "gcc" "src/CMakeFiles/turbfno.dir/tensor/tensor.cpp.o.d"
   "/root/repo/src/util/cli.cpp" "src/CMakeFiles/turbfno.dir/util/cli.cpp.o" "gcc" "src/CMakeFiles/turbfno.dir/util/cli.cpp.o.d"
   "/root/repo/src/util/image.cpp" "src/CMakeFiles/turbfno.dir/util/image.cpp.o" "gcc" "src/CMakeFiles/turbfno.dir/util/image.cpp.o.d"

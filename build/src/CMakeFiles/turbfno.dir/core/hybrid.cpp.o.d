@@ -242,4 +242,7 @@ src/CMakeFiles/turbfno.dir/core/hybrid.cpp.o: \
  /usr/include/c++/12/bits/stl_numeric.h \
  /usr/include/c++/12/pstl/glue_numeric_defs.h /usr/include/c++/12/span \
  /usr/include/c++/12/cstddef /root/repo/src/util/common.hpp \
- /root/repo/src/util/rng.hpp
+ /root/repo/src/util/rng.hpp /root/repo/src/obs/obs.hpp \
+ /usr/include/c++/12/atomic /usr/include/c++/12/chrono \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h

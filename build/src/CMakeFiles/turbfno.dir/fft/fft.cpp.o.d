@@ -232,8 +232,10 @@ src/CMakeFiles/turbfno.dir/fft/fft.cpp.o: /root/repo/src/fft/fft.cpp \
  /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
  /usr/include/c++/12/bits/unique_lock.h /root/repo/src/fft/plan.hpp \
  /root/repo/src/util/common.hpp /usr/include/c++/12/cstddef \
- /root/repo/src/fft/real.hpp /root/repo/src/tensor/tensor.hpp \
- /usr/include/c++/12/algorithm /usr/include/c++/12/bits/stl_algo.h \
+ /root/repo/src/obs/obs.hpp /usr/include/c++/12/atomic \
+ /usr/include/c++/12/chrono /root/repo/src/fft/real.hpp \
+ /root/repo/src/tensor/tensor.hpp /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/uniform_int_dist.h \
@@ -243,9 +245,9 @@ src/CMakeFiles/turbfno.dir/fft/fft.cpp.o: /root/repo/src/fft/fft.cpp \
  /usr/include/c++/12/numeric /usr/include/c++/12/bits/stl_numeric.h \
  /usr/include/c++/12/pstl/glue_numeric_defs.h /usr/include/c++/12/span \
  /root/repo/src/util/rng.hpp /root/repo/src/util/thread_pool.hpp \
- /usr/include/c++/12/atomic /usr/include/c++/12/condition_variable \
- /usr/include/c++/12/stop_token /usr/include/c++/12/bits/std_thread.h \
- /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/condition_variable /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
+ /usr/include/c++/12/bits/semaphore_base.h \
  /usr/include/c++/12/bits/atomic_timed_wait.h \
  /usr/include/c++/12/bits/this_thread_sleep.h \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \

@@ -236,11 +236,12 @@ src/CMakeFiles/turbfno.dir/nn/linear.cpp.o: /root/repo/src/nn/linear.cpp \
  /usr/include/c++/12/bits/stl_numeric.h \
  /usr/include/c++/12/pstl/glue_numeric_defs.h /usr/include/c++/12/span \
  /usr/include/c++/12/cstddef /root/repo/src/util/common.hpp \
- /root/repo/src/util/rng.hpp /root/repo/src/tensor/gemm.hpp \
- /root/repo/src/util/thread_pool.hpp /usr/include/c++/12/atomic \
- /usr/include/c++/12/condition_variable /usr/include/c++/12/bits/chrono.h \
- /usr/include/c++/12/ratio /usr/include/c++/12/ctime \
- /usr/include/c++/12/bits/parse_numbers.h \
+ /root/repo/src/util/rng.hpp /root/repo/src/obs/obs.hpp \
+ /usr/include/c++/12/atomic /usr/include/c++/12/chrono \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
+ /root/repo/src/tensor/gemm.hpp /root/repo/src/util/thread_pool.hpp \
+ /usr/include/c++/12/condition_variable \
  /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/stop_token \
  /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
  /usr/include/c++/12/bits/semaphore_base.h \

@@ -319,6 +319,7 @@ tests/CMakeFiles/test_fft.dir/test_fft.cpp.o: \
  /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
  /usr/include/c++/12/ratio /usr/include/c++/12/bits/unique_lock.h \
  /root/repo/src/fft/plan.hpp /root/repo/src/util/common.hpp \
+ /root/repo/src/obs/obs.hpp /usr/include/c++/12/chrono \
  /root/repo/src/fft/real.hpp /root/repo/src/tensor/tensor.hpp \
  /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \

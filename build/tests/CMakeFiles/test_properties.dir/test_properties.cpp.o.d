@@ -342,7 +342,8 @@ tests/CMakeFiles/test_properties.dir/test_properties.cpp.o: \
  /root/repo/src/fft/fftnd.hpp /root/repo/src/fft/plan_cache.hpp \
  /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
  /usr/include/c++/12/ratio /usr/include/c++/12/bits/unique_lock.h \
- /root/repo/src/fft/plan.hpp /root/repo/src/fft/real.hpp \
+ /root/repo/src/fft/plan.hpp /root/repo/src/obs/obs.hpp \
+ /usr/include/c++/12/chrono /root/repo/src/fft/real.hpp \
  /root/repo/src/util/thread_pool.hpp \
  /usr/include/c++/12/condition_variable /usr/include/c++/12/stop_token \
  /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \

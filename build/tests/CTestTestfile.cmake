@@ -5,6 +5,7 @@
 # This file includes the relevant testing commands required for 
 # testing this directory and lists subdirectories to be tested as well.
 include("/root/repo/build/tests/test_util[1]_include.cmake")
+include("/root/repo/build/tests/test_obs[1]_include.cmake")
 include("/root/repo/build/tests/test_tensor[1]_include.cmake")
 include("/root/repo/build/tests/test_fft[1]_include.cmake")
 include("/root/repo/build/tests/test_nn[1]_include.cmake")

@@ -17,6 +17,7 @@
 int main(int argc, char** argv) {
   using namespace turb;
   const CliArgs args(argc, argv);
+  apply_runtime_flags(args);
   const index_t grid = args.get_int("grid", 48);
   const double re = args.get_double("re", 1500.0);
   const double t_end = args.get_double("tc", 4.0);

@@ -46,6 +46,7 @@ core::History seed_history_from_series(const data::SnapshotSeries& series,
 
 int main(int argc, char** argv) {
   const CliArgs args(argc, argv);
+  apply_runtime_flags(args);
   const index_t grid = args.get_int("grid", 32);
   const index_t n_samples = args.get_int("samples", 6);
   const index_t epochs = args.get_int("epochs", 30);

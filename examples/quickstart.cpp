@@ -16,6 +16,7 @@
 int main(int argc, char** argv) {
   using namespace turb;
   const CliArgs args(argc, argv);
+  apply_runtime_flags(args);
   const index_t n_samples = args.get_int("samples", 4);
   const index_t grid = args.get_int("grid", 32);
   const index_t epochs = args.get_int("epochs", 20);

@@ -24,13 +24,14 @@ double window_error(fno::Fno& model, const data::TurbulenceDataset& dataset,
   data::make_velocity_channel_windows(dataset, spec, x, y);
   norm.apply(x);
   norm.apply(y);
-  return fno::evaluate_fno(model, x, y, 4);
+  return fno::evaluate_fno(model, x, y, 4).rel_l2;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   const CliArgs args(argc, argv);
+  apply_runtime_flags(args);
   const index_t coarse = args.get_int("coarse", 32);
   const index_t fine = args.get_int("fine", 64);
   const index_t epochs = args.get_int("epochs", 25);

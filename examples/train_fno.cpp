@@ -13,6 +13,7 @@
 int main(int argc, char** argv) {
   using namespace turb;
   const CliArgs args(argc, argv);
+  apply_runtime_flags(args);
 
   // --- data ---------------------------------------------------------------
   data::TurbulenceDataset dataset;
@@ -115,8 +116,10 @@ int main(int argc, char** argv) {
               result.total_seconds / static_cast<double>(tc.epochs));
 
   if (n_test > 0) {
-    std::printf("held-out relative-L2 error: %.4f\n",
-                fno::evaluate_fno(model, test_x, test_y));
+    const fno::EvalResult eval = fno::evaluate_fno(model, test_x, test_y);
+    std::printf("held-out relative-L2 error: %.4f (%lld samples, %.2fs)\n",
+                eval.rel_l2, static_cast<long long>(eval.n_samples),
+                eval.seconds);
   }
 
   const std::string save_path = args.get("save", "");

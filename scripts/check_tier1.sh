@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Tier-1 gate: configure, build, run the unit tests, then smoke-check the
+# observability pipeline by running one bench with --metrics-out and
+# verifying the JSON contains the fft/*, nn/*, and train/* spans.
+#
+# Usage: scripts/check_tier1.sh [build-dir]   (default: build)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+
+cmake -B "$BUILD_DIR" -S .
+cmake --build "$BUILD_DIR" -j
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
+
+METRICS="$BUILD_DIR/check_tier1_metrics.json"
+rm -f "$METRICS"
+TURBFNO_SCALE=ci "$BUILD_DIR/bench/bench_fig5_channels" \
+    --metrics-out "$METRICS" > /dev/null
+
+for span in '"fft/r2c"' '"nn/linear_fwd"' '"train/forward"'; do
+  grep -q "$span" "$METRICS" || {
+    echo "check_tier1: span $span missing from $METRICS" >&2
+    exit 1
+  }
+done
+python3 -c "import json,sys; json.load(open(sys.argv[1]))" "$METRICS"
+
+echo "check_tier1: OK (tests passed, metrics JSON valid: $METRICS)"

@@ -2,9 +2,23 @@
 
 #include <cmath>
 
+#include "obs/obs.hpp"
+
 namespace turb::core {
 
 namespace {
+
+/// Wall time and snapshot count per propagator window, keyed by the
+/// propagator's name() — "hybrid/fno_window" vs "hybrid/pde_window" is the
+/// cost split the speedup claims of the paper's §VI-C rest on.
+std::vector<FieldSnapshot> advance_timed(Propagator& propagator,
+                                         const History& history,
+                                         index_t count) {
+  obs::ScopedTimer span(
+      obs::timer("hybrid/" + propagator.name() + "_window"));
+  obs::counter("hybrid/" + propagator.name() + "_snapshots").add(count);
+  return propagator.advance(history, count);
+}
 
 void append(History& history, RolloutResult& result,
             std::vector<FieldSnapshot>&& produced, const std::string& name,
@@ -58,8 +72,8 @@ RolloutResult HybridScheduler::run(const History& seed,
       continue;
     }
     const index_t count = std::min(window, total_snapshots - produced);
-    append(history, result, active->advance(history, count), active->name(),
-           config_.max_history);
+    append(history, result, advance_timed(*active, history, count),
+           active->name(), config_.max_history);
     produced += count;
     if (config_.fno_snapshots > 0 && config_.pde_snapshots > 0) {
       fno_turn = !fno_turn;
@@ -78,7 +92,7 @@ RolloutResult run_single(Propagator& propagator, const History& seed,
   index_t produced = 0;
   while (produced < total_snapshots) {
     const index_t count = std::min(window, total_snapshots - produced);
-    append(history, result, propagator.advance(history, count),
+    append(history, result, advance_timed(propagator, history, count),
            propagator.name(), /*max_history=*/64);
     produced += count;
   }

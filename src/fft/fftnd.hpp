@@ -12,6 +12,7 @@
 
 #include "fft/plan_cache.hpp"
 #include "fft/real.hpp"
+#include "obs/obs.hpp"
 #include "tensor/tensor.hpp"
 #include "util/thread_pool.hpp"
 
@@ -21,6 +22,7 @@ namespace turb::fft {
 template <typename T>
 void c2c_axis(Tensor<std::complex<T>>& x, std::size_t axis, bool forward) {
   using cpx = std::complex<T>;
+  TURB_TRACE_SCOPE("fft/c2c");
   TURB_CHECK(axis < x.rank());
   const Shape& shape = x.shape();
   const index_t n = shape[axis];
@@ -57,6 +59,7 @@ void c2c_axis(Tensor<std::complex<T>>& x, std::size_t axis, bool forward) {
 template <typename T>
 Tensor<std::complex<T>> rfftn(const Tensor<T>& x, int ndim) {
   using cpx = std::complex<T>;
+  TURB_TRACE_SCOPE("fft/r2c");
   TURB_CHECK(ndim >= 1 && static_cast<std::size_t>(ndim) <= x.rank());
   const Shape& in_shape = x.shape();
   const std::size_t rank = in_shape.size();
@@ -66,6 +69,8 @@ Tensor<std::complex<T>> rfftn(const Tensor<T>& x, int ndim) {
 
   Tensor<cpx> out(out_shape);
   const index_t rows = numel(in_shape) / n_last;
+  static obs::Counter& lines = obs::counter("fft/r2c_lines");
+  lines.add(rows);
   const index_t out_row = out_shape[rank - 1];
   const T* in_data = x.data();
   cpx* out_data = out.data();
@@ -85,6 +90,7 @@ Tensor<std::complex<T>> rfftn(const Tensor<T>& x, int ndim) {
 template <typename T>
 Tensor<T> irfftn(const Tensor<std::complex<T>>& x, int ndim, index_t n_last) {
   using cpx = std::complex<T>;
+  TURB_TRACE_SCOPE("fft/c2r");
   TURB_CHECK(ndim >= 1 && static_cast<std::size_t>(ndim) <= x.rank());
   const std::size_t rank = x.rank();
   TURB_CHECK_MSG(x.shape()[rank - 1] == n_last / 2 + 1,
@@ -100,6 +106,8 @@ Tensor<T> irfftn(const Tensor<std::complex<T>>& x, int ndim, index_t n_last) {
   Tensor<T> out(out_shape);
   const index_t in_row = work.shape()[rank - 1];
   const index_t rows = numel(out_shape) / n_last;
+  static obs::Counter& lines = obs::counter("fft/c2r_lines");
+  lines.add(rows);
   const cpx* in_data = work.data();
   T* out_data = out.data();
   parallel_for(0, rows, [&](index_t r) {

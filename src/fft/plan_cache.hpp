@@ -6,19 +6,28 @@
 #include <mutex>
 
 #include "fft/plan.hpp"
+#include "obs/obs.hpp"
 
 namespace turb::fft {
 
 /// Return a cached plan for length n (thread-safe; plans are immutable after
-/// construction and live for the process lifetime).
+/// construction and live for the process lifetime). Plan construction (twiddle
+/// tables, Bluestein scratch) is timed separately from execution so profiles
+/// can distinguish one-off setup cost from the per-transform work.
 template <typename T>
 const PlanC2C<T>& plan(index_t n) {
   static std::map<index_t, std::unique_ptr<PlanC2C<T>>> cache;
   static std::mutex mutex;
+  static obs::Counter& hits = obs::counter("fft/plan_cache_hits");
+  static obs::Counter& misses = obs::counter("fft/plan_cache_misses");
   std::lock_guard lock(mutex);
   auto it = cache.find(n);
   if (it == cache.end()) {
+    misses.add(1);
+    obs::ScopedTimer span(obs::timer("fft/plan_create"));
     it = cache.emplace(n, std::make_unique<PlanC2C<T>>(n)).first;
+  } else {
+    hits.add(1);
   }
   return *it->second;
 }

@@ -4,6 +4,7 @@
 
 #include "nn/loss.hpp"
 #include "nn/optimizer.hpp"
+#include "obs/obs.hpp"
 #include "util/timer.hpp"
 
 namespace turb::fno {
@@ -17,6 +18,25 @@ TrainResult train_fno(Fno& model, nn::DataLoader& loader,
   nn::StepLR scheduler(optimizer, config.scheduler_step,
                        config.scheduler_gamma);
 
+  // The verbose printer is just the built-in epoch callback; a user
+  // callback runs after it on the same stats.
+  const std::function<void(const EpochStats&)> emit =
+      [&config](const EpochStats& stats) {
+        if (config.verbose) {
+          std::printf("epoch %3lld  loss %.5f  lr %.2e  %.2fs\n",
+                      static_cast<long long>(stats.epoch), stats.train_loss,
+                      stats.lr, stats.seconds);
+        }
+        if (config.on_epoch_end) config.on_epoch_end(stats);
+      };
+
+  obs::TimerStat& span_epoch = obs::timer("train/epoch");
+  obs::TimerStat& span_data = obs::timer("train/data");
+  obs::TimerStat& span_forward = obs::timer("train/forward");
+  obs::TimerStat& span_backward = obs::timer("train/backward");
+  obs::TimerStat& span_optimizer = obs::timer("train/optimizer");
+  obs::Gauge& gauge_lr = obs::gauge("train/lr");
+
   TrainResult result;
   Timer total;
   for (index_t epoch = 0; epoch < config.epochs; ++epoch) {
@@ -25,36 +45,57 @@ TrainResult train_fno(Fno& model, nn::DataLoader& loader,
     nn::Batch batch;
     double loss_sum = 0.0;
     index_t batches = 0;
-    while (loader.next(batch)) {
+    EpochStats stats;
+    Timer phase;
+    while (true) {
+      phase.reset();
+      const bool more = loader.next(batch);
+      stats.data_seconds += phase.seconds();
+      if (!more) break;
+
+      phase.reset();
       optimizer.zero_grad();
       const TensorF pred = model.forward(batch.x);
       const nn::LossResult loss = nn::relative_l2_loss(pred, batch.y);
+      stats.forward_seconds += phase.seconds();
+
+      phase.reset();
       (void)model.backward(loss.grad);
+      stats.backward_seconds += phase.seconds();
+
+      phase.reset();
       optimizer.step();
+      stats.optimizer_seconds += phase.seconds();
+
       loss_sum += loss.value;
       ++batches;
     }
     scheduler.step();
 
-    EpochStats stats;
     stats.epoch = epoch;
     stats.train_loss = batches > 0 ? loss_sum / static_cast<double>(batches)
                                    : 0.0;
     stats.lr = optimizer.lr();
     stats.seconds = epoch_timer.seconds();
+
+    span_epoch.record(stats.seconds);
+    span_data.record(stats.data_seconds);
+    span_forward.record(stats.forward_seconds);
+    span_backward.record(stats.backward_seconds);
+    span_optimizer.record(stats.optimizer_seconds);
+    gauge_lr.set(stats.lr);
+
     result.history.push_back(stats);
-    if (config.verbose) {
-      std::printf("epoch %3lld  loss %.5f  lr %.2e  %.2fs\n",
-                  static_cast<long long>(epoch), stats.train_loss, stats.lr,
-                  stats.seconds);
-    }
+    emit(stats);
   }
   result.total_seconds = total.seconds();
   return result;
 }
 
-double evaluate_fno(Fno& model, const TensorF& inputs, const TensorF& targets,
-                    index_t batch_size) {
+EvalResult evaluate_fno(Fno& model, const TensorF& inputs,
+                        const TensorF& targets, index_t batch_size) {
+  TURB_TRACE_SCOPE("train/evaluate");
+  Timer timer;
   nn::DataLoader loader(inputs, targets, batch_size, /*shuffle=*/false);
   nn::Batch batch;
   double err_sum = 0.0;
@@ -65,7 +106,16 @@ double evaluate_fno(Fno& model, const TensorF& inputs, const TensorF& targets,
                static_cast<double>(batch.size());
     count += batch.size();
   }
-  return count > 0 ? err_sum / static_cast<double>(count) : 0.0;
+  EvalResult result;
+  result.rel_l2 = count > 0 ? err_sum / static_cast<double>(count) : 0.0;
+  result.n_samples = count;
+  result.seconds = timer.seconds();
+  return result;
+}
+
+double evaluate_fno_error(Fno& model, const TensorF& inputs,
+                          const TensorF& targets, index_t batch_size) {
+  return evaluate_fno(model, inputs, targets, batch_size).rel_l2;
 }
 
 }  // namespace turb::fno

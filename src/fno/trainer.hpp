@@ -2,12 +2,26 @@
 // the reference neuraloperator training scripts the paper used.
 #pragma once
 
+#include <functional>
 #include <vector>
 
 #include "fno/fno.hpp"
 #include "nn/dataloader.hpp"
 
 namespace turb::fno {
+
+struct EpochStats {
+  index_t epoch = 0;
+  double train_loss = 0.0;  // mean relative-L2 over training batches
+  double lr = 0.0;
+  double seconds = 0.0;
+  // Wall-time split of the epoch (data loading / forward / backward /
+  // optimizer step); also exported as the train/* spans of obs::dump_json.
+  double data_seconds = 0.0;
+  double forward_seconds = 0.0;
+  double backward_seconds = 0.0;
+  double optimizer_seconds = 0.0;
+};
 
 struct TrainConfig {
   index_t epochs = 50;
@@ -16,13 +30,10 @@ struct TrainConfig {
   double scheduler_gamma = 0.5; // paper default
   double weight_decay = 1e-4;
   bool verbose = false;
-};
-
-struct EpochStats {
-  index_t epoch = 0;
-  double train_loss = 0.0;  // mean relative-L2 over training batches
-  double lr = 0.0;
-  double seconds = 0.0;
+  /// Invoked after every epoch with that epoch's statistics (after the
+  /// verbose line, if any, is printed). Lets callers stream metrics or
+  /// implement early stopping without patching the loop.
+  std::function<void(const EpochStats&)> on_epoch_end;
 };
 
 struct TrainResult {
@@ -37,9 +48,20 @@ struct TrainResult {
 TrainResult train_fno(Fno& model, nn::DataLoader& loader,
                       const TrainConfig& config);
 
+/// Held-out evaluation summary.
+struct EvalResult {
+  double rel_l2 = 0.0;     ///< mean relative-L2 error over the set
+  index_t n_samples = 0;   ///< samples evaluated
+  double seconds = 0.0;    ///< wall time of the evaluation
+};
+
 /// Mean relative-L2 error of the model over a held-out set, evaluated in
 /// mini-batches of `batch_size`.
-double evaluate_fno(Fno& model, const TensorF& inputs, const TensorF& targets,
-                    index_t batch_size = 8);
+EvalResult evaluate_fno(Fno& model, const TensorF& inputs,
+                        const TensorF& targets, index_t batch_size = 8);
+
+/// Compatibility wrapper returning only the error scalar.
+double evaluate_fno_error(Fno& model, const TensorF& inputs,
+                          const TensorF& targets, index_t batch_size = 8);
 
 }  // namespace turb::fno

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <mutex>
 
+#include "obs/obs.hpp"
 #include "util/thread_pool.hpp"
 
 namespace turb::lbm {
@@ -295,9 +296,19 @@ void LbmSolver::stream() {
 }
 
 void LbmSolver::step(index_t steps) {
+  static obs::TimerStat& collide_span = obs::timer("lbm/collide");
+  static obs::TimerStat& stream_span = obs::timer("lbm/stream");
+  static obs::Counter& counter = obs::counter("lbm/steps");
+  counter.add(steps);
   for (index_t s = 0; s < steps; ++s) {
-    collide();
-    stream();
+    {
+      obs::ScopedTimer span(collide_span);
+      collide();
+    }
+    {
+      obs::ScopedTimer span(stream_span);
+      stream();
+    }
   }
 }
 

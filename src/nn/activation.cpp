@@ -3,11 +3,13 @@
 #include <cmath>
 #include <numbers>
 
+#include "obs/obs.hpp"
 #include "util/thread_pool.hpp"
 
 namespace turb::nn {
 
 TensorF Gelu::forward(const TensorF& x) {
+  TURB_TRACE_SCOPE("nn/gelu_fwd");
   input_ = x;
   TensorF y(x.shape());
   const float* in = x.data();
@@ -23,6 +25,7 @@ TensorF Gelu::forward(const TensorF& x) {
 }
 
 TensorF Gelu::backward(const TensorF& grad_out) {
+  TURB_TRACE_SCOPE("nn/gelu_bwd");
   TURB_CHECK(grad_out.size() == input_.size());
   TensorF grad_in(input_.shape());
   const float* in = input_.data();

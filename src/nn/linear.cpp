@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "obs/obs.hpp"
 #include "tensor/gemm.hpp"
 #include "util/thread_pool.hpp"
 
@@ -37,6 +38,7 @@ Linear::Linear(index_t in_channels, index_t out_channels, Rng& rng, bool bias,
 }
 
 TensorF Linear::forward(const TensorF& x) {
+  TURB_TRACE_SCOPE("nn/linear_fwd");
   TURB_CHECK_MSG(x.rank() >= 2 && x.dim(1) == in_channels_,
                  name_ << ": expected channel dim " << in_channels_ << ", got "
                        << shape_to_string(x.shape()));
@@ -66,6 +68,7 @@ TensorF Linear::forward(const TensorF& x) {
 }
 
 TensorF Linear::backward(const TensorF& grad_out) {
+  TURB_TRACE_SCOPE("nn/linear_bwd");
   TURB_CHECK_MSG(!input_.empty(), name_ << ": backward before forward");
   TURB_CHECK(grad_out.rank() >= 2 && grad_out.dim(1) == out_channels_);
   const index_t batch = input_.dim(0);

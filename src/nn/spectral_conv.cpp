@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "fft/fftnd.hpp"
+#include "obs/obs.hpp"
 #include "util/thread_pool.hpp"
 
 namespace turb::nn {
@@ -105,6 +106,7 @@ void SpectralConv::build_mode_map(const Shape& spatial) {
 }
 
 TensorF SpectralConv::forward(const TensorF& x) {
+  TURB_TRACE_SCOPE("nn/spectral_conv_fwd");
   const std::size_t rank = n_modes_.size();
   TURB_CHECK_MSG(x.rank() == rank + 2,
                  name_ << ": expected (N, C, spatial...) input");
@@ -149,6 +151,7 @@ TensorF SpectralConv::forward(const TensorF& x) {
 }
 
 TensorF SpectralConv::backward(const TensorF& grad_out) {
+  TURB_TRACE_SCOPE("nn/spectral_conv_bwd");
   TURB_CHECK_MSG(!in_shape_.empty(), name_ << ": backward before forward");
   const std::size_t rank = n_modes_.size();
   TURB_CHECK(grad_out.rank() == rank + 2 && grad_out.dim(1) == out_channels_);

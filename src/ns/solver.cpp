@@ -6,6 +6,7 @@
 
 #include "fft/fftnd.hpp"
 #include "ns/spectral_ops.hpp"
+#include "obs/obs.hpp"
 
 namespace turb::ns {
 
@@ -114,6 +115,9 @@ SpectralNsSolver::SpecD SpectralNsSolver::rhs(const SpecD& what) const {
 }
 
 void SpectralNsSolver::step(index_t steps) {
+  TURB_TRACE_SCOPE("ns/step");
+  static obs::Counter& counter = obs::counter("ns/steps");
+  counter.add(steps);
   for (index_t s = 0; s < steps; ++s) {
     if (config_.integrating_factor) {
       step_ifrk4();
@@ -276,6 +280,9 @@ TensorD FdNsSolver::rhs(const TensorD& omega) const {
 }
 
 void FdNsSolver::step(index_t steps) {
+  TURB_TRACE_SCOPE("ns/step");
+  static obs::Counter& counter = obs::counter("ns/steps");
+  counter.add(steps);
   const double dt = config_.dt;
   for (index_t s = 0; s < steps; ++s) {
     // SSP-RK3 (Shu–Osher).

@@ -1,0 +1,186 @@
+#include "obs/obs.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <sstream>
+
+namespace turb::obs {
+
+namespace {
+
+std::atomic<bool> g_enabled{true};
+
+/// Node-based maps keep metric addresses stable across later insertions.
+struct Registry {
+  std::mutex mutex;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges;
+  std::map<std::string, std::unique_ptr<TimerStat>, std::less<>> timers;
+};
+
+Registry& registry() {
+  static Registry* r = new Registry();  // leaked: outlives atexit dumps
+  return *r;
+}
+
+template <typename T>
+T& find_or_create(std::map<std::string, std::unique_ptr<T>, std::less<>>& map,
+                  std::mutex& mutex, std::string_view name) {
+  std::lock_guard lock(mutex);
+  const auto it = map.find(name);
+  if (it != map.end()) return *it->second;
+  return *map.emplace(std::string(name), std::make_unique<T>()).first->second;
+}
+
+void append_escaped(std::ostringstream& os, const std::string& s) {
+  os << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+void append_double(std::ostringstream& os, double v) {
+  // JSON has no Infinity/NaN; min_seconds is +inf before the first record.
+  if (std::isfinite(v)) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.9g", v);
+    os << buf;
+  } else {
+    os << "null";
+  }
+}
+
+std::string& dump_path() {
+  static std::string* path = new std::string();
+  return *path;
+}
+
+std::mutex& dump_path_mutex() {
+  static std::mutex* m = new std::mutex();
+  return *m;
+}
+
+}  // namespace
+
+Counter& counter(std::string_view name) {
+  Registry& r = registry();
+  return find_or_create(r.counters, r.mutex, name);
+}
+
+Gauge& gauge(std::string_view name) {
+  Registry& r = registry();
+  return find_or_create(r.gauges, r.mutex, name);
+}
+
+TimerStat& timer(std::string_view name) {
+  Registry& r = registry();
+  return find_or_create(r.timers, r.mutex, name);
+}
+
+void set_enabled(bool on) noexcept {
+  g_enabled.store(on, std::memory_order_relaxed);
+}
+
+bool enabled() noexcept { return g_enabled.load(std::memory_order_relaxed); }
+
+void reset() {
+  Registry& r = registry();
+  std::lock_guard lock(r.mutex);
+  for (auto& [name, c] : r.counters) c->reset();
+  for (auto& [name, g] : r.gauges) g->reset();
+  for (auto& [name, t] : r.timers) t->reset();
+}
+
+std::string to_json() {
+  Registry& r = registry();
+  std::lock_guard lock(r.mutex);
+  std::ostringstream os;
+  os << "{\n  \"version\": 1,\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, c] : r.counters) {
+    os << (first ? "\n    " : ",\n    ");
+    first = false;
+    append_escaped(os, name);
+    os << ": " << c->value();
+  }
+  os << (first ? "" : "\n  ") << "},\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, g] : r.gauges) {
+    os << (first ? "\n    " : ",\n    ");
+    first = false;
+    append_escaped(os, name);
+    os << ": ";
+    append_double(os, g->value());
+  }
+  os << (first ? "" : "\n  ") << "},\n  \"spans\": {";
+  first = true;
+  for (const auto& [name, t] : r.timers) {
+    os << (first ? "\n    " : ",\n    ");
+    first = false;
+    append_escaped(os, name);
+    const std::int64_t n = t->count();
+    os << ": {\"count\": " << n << ", \"total_seconds\": ";
+    append_double(os, t->total_seconds());
+    os << ", \"min_seconds\": ";
+    append_double(os, t->min_seconds());
+    os << ", \"max_seconds\": ";
+    append_double(os, t->max_seconds());
+    os << ", \"mean_seconds\": ";
+    append_double(os, n > 0 ? t->total_seconds() / static_cast<double>(n)
+                            : 0.0);
+    os << "}";
+  }
+  os << (first ? "" : "\n  ") << "}\n}\n";
+  return os.str();
+}
+
+bool dump_json(const std::string& path) {
+  const std::string json = to_json();
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  out << json;
+  return static_cast<bool>(out);
+}
+
+void dump_json_at_exit(const std::string& path) {
+  {
+    std::lock_guard lock(dump_path_mutex());
+    dump_path() = path;
+  }
+  static const int registered = [] {
+    std::atexit([] {
+      std::string path_copy;
+      {
+        std::lock_guard lock(dump_path_mutex());
+        path_copy = dump_path();
+      }
+      if (!path_copy.empty() && !dump_json(path_copy)) {
+        std::fprintf(stderr, "obs: failed to write metrics to %s\n",
+                     path_copy.c_str());
+      }
+    });
+    return 0;
+  }();
+  (void)registered;
+}
+
+}  // namespace turb::obs

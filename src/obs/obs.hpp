@@ -1,0 +1,189 @@
+// Observability: a process-wide metrics registry plus scoped trace spans.
+//
+// Three metric kinds, all safe to update concurrently from thread-pool
+// workers without locks on the hot path:
+//
+//   * Counter   — monotonically increasing integer (events, flops, lines)
+//   * Gauge     — last-written double (learning rate, active threads)
+//   * TimerStat — histogram-style duration accumulator (count/total/min/max)
+//
+// Metric objects are created on first lookup and live for the process
+// lifetime at a stable address, so call sites cache a reference once (the
+// TURB_TRACE_SCOPE macro does this with a function-local static) and the
+// per-event cost is a handful of relaxed atomics — no registry lock.
+//
+// Span naming convention: `subsystem/op`, e.g. "fft/r2c", "nn/linear_fwd",
+// "train/forward", "hybrid/pde_window". dump_json() exports every metric as
+//
+//   { "version": 1,
+//     "counters": {"tensor/gemm_calls": 123, ...},
+//     "gauges":   {"train/lr": 1e-3, ...},
+//     "spans":    {"fft/r2c": {"count": 10, "total_seconds": 0.5,
+//                              "min_seconds": ..., "max_seconds": ...,
+//                              "mean_seconds": ...}, ...} }
+//
+// Tracing is on by default; set_enabled(false) turns ScopedTimer into a
+// no-op (counters and explicit record() calls still work).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <string_view>
+
+namespace turb::obs {
+
+namespace detail {
+
+/// Relaxed-order add for atomic<double> via CAS (portable where
+/// fetch_add on floating atomics is not yet available).
+inline void atomic_add(std::atomic<double>& a, double delta) noexcept {
+  double cur = a.load(std::memory_order_relaxed);
+  while (!a.compare_exchange_weak(cur, cur + delta,
+                                  std::memory_order_relaxed)) {
+  }
+}
+
+inline void atomic_min(std::atomic<double>& a, double v) noexcept {
+  double cur = a.load(std::memory_order_relaxed);
+  while (v < cur &&
+         !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+inline void atomic_max(std::atomic<double>& a, double v) noexcept {
+  double cur = a.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace detail
+
+class Counter {
+ public:
+  void add(std::int64_t delta = 1) noexcept {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::int64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+class Gauge {
+ public:
+  void set(double v) noexcept { value_.store(v, std::memory_order_relaxed); }
+  [[nodiscard]] double value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Duration accumulator: count, total, min, max — enough for a phase
+/// breakdown without per-sample storage.
+class TimerStat {
+ public:
+  void record(double seconds) noexcept {
+    count_.fetch_add(1, std::memory_order_relaxed);
+    detail::atomic_add(total_, seconds);
+    detail::atomic_min(min_, seconds);
+    detail::atomic_max(max_, seconds);
+  }
+  [[nodiscard]] std::int64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double total_seconds() const noexcept {
+    return total_.load(std::memory_order_relaxed);
+  }
+  /// +inf until the first record().
+  [[nodiscard]] double min_seconds() const noexcept {
+    return min_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double max_seconds() const noexcept {
+    return max_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept {
+    count_.store(0, std::memory_order_relaxed);
+    total_.store(0.0, std::memory_order_relaxed);
+    min_.store(std::numeric_limits<double>::infinity(),
+               std::memory_order_relaxed);
+    max_.store(0.0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::int64_t> count_{0};
+  std::atomic<double> total_{0.0};
+  std::atomic<double> min_{std::numeric_limits<double>::infinity()};
+  std::atomic<double> max_{0.0};
+};
+
+/// Find-or-create; the returned reference is stable for the process
+/// lifetime. Lookup takes the registry lock — cache the reference at hot
+/// call sites.
+Counter& counter(std::string_view name);
+Gauge& gauge(std::string_view name);
+TimerStat& timer(std::string_view name);
+
+/// Globally enable/disable scoped tracing (default: enabled).
+void set_enabled(bool on) noexcept;
+[[nodiscard]] bool enabled() noexcept;
+
+/// Zero every registered metric (registrations — and therefore cached
+/// references — stay valid).
+void reset();
+
+/// Serialise the whole registry (schema in the file header).
+[[nodiscard]] std::string to_json();
+
+/// Write to_json() to `path`; returns false on I/O failure.
+bool dump_json(const std::string& path);
+
+/// Register an atexit hook that dumps the registry to `path` when the
+/// process exits normally (later calls just replace the path).
+void dump_json_at_exit(const std::string& path);
+
+/// RAII span: records wall time into a TimerStat on destruction.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(TimerStat& stat) noexcept
+      : stat_(&stat), active_(enabled()) {
+    if (active_) start_ = clock::now();
+  }
+  ~ScopedTimer() {
+    if (active_) {
+      stat_->record(
+          std::chrono::duration<double>(clock::now() - start_).count());
+    }
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  using clock = std::chrono::steady_clock;
+  TimerStat* stat_;
+  bool active_;
+  clock::time_point start_;
+};
+
+}  // namespace turb::obs
+
+#define TURB_OBS_CONCAT_INNER(a, b) a##b
+#define TURB_OBS_CONCAT(a, b) TURB_OBS_CONCAT_INNER(a, b)
+
+/// Time the enclosing scope into the span `name` (a `subsystem/op` string
+/// literal). The TimerStat lookup happens once per call site.
+#define TURB_TRACE_SCOPE(name)                                      \
+  static ::turb::obs::TimerStat& TURB_OBS_CONCAT(                   \
+      turb_obs_stat_, __LINE__) = ::turb::obs::timer(name);         \
+  ::turb::obs::ScopedTimer TURB_OBS_CONCAT(turb_obs_scope_,         \
+                                           __LINE__)(               \
+      TURB_OBS_CONCAT(turb_obs_stat_, __LINE__))

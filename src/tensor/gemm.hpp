@@ -13,13 +13,29 @@
 // passes (dX = Wᵀ·dY, dW = dY·Xᵀ).
 #pragma once
 
+#include "obs/obs.hpp"
 #include "util/common.hpp"
 
 namespace turb {
 
+namespace detail {
+
+/// Call/flop accounting shared by the three kernels. Two relaxed atomic adds
+/// per GEMM call — noise next to the 2·m·n·k multiply-adds of the call
+/// itself, but enough for obs::dump_json to report arithmetic throughput.
+inline void count_gemm(index_t m, index_t n, index_t k) {
+  static obs::Counter& calls = obs::counter("tensor/gemm_calls");
+  static obs::Counter& flops = obs::counter("tensor/gemm_flops");
+  calls.add(1);
+  flops.add(2 * m * n * k);
+}
+
+}  // namespace detail
+
 template <typename T>
 void gemm_nn(index_t m, index_t n, index_t k, T alpha, const T* a, index_t lda,
              const T* b, index_t ldb, T beta, T* c, index_t ldc) {
+  detail::count_gemm(m, n, k);
   for (index_t i = 0; i < m; ++i) {
     T* ci = c + i * ldc;
     if (beta == T{0}) {
@@ -41,6 +57,7 @@ void gemm_nn(index_t m, index_t n, index_t k, T alpha, const T* a, index_t lda,
 template <typename T>
 void gemm_tn(index_t m, index_t n, index_t k, T alpha, const T* a, index_t lda,
              const T* b, index_t ldb, T beta, T* c, index_t ldc) {
+  detail::count_gemm(m, n, k);
   for (index_t i = 0; i < m; ++i) {
     T* ci = c + i * ldc;
     if (beta == T{0}) {
@@ -61,6 +78,7 @@ void gemm_tn(index_t m, index_t n, index_t k, T alpha, const T* a, index_t lda,
 template <typename T>
 void gemm_nt(index_t m, index_t n, index_t k, T alpha, const T* a, index_t lda,
              const T* b, index_t ldb, T beta, T* c, index_t ldc) {
+  detail::count_gemm(m, n, k);
   for (index_t i = 0; i < m; ++i) {
     const T* ai = a + i * lda;
     T* ci = c + i * ldc;

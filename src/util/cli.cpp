@@ -2,7 +2,9 @@
 
 #include <cstdlib>
 
+#include "obs/obs.hpp"
 #include "util/common.hpp"
+#include "util/thread_pool.hpp"
 
 namespace turb {
 
@@ -52,6 +54,16 @@ double CliArgs::get_double(const std::string& key, double fallback) const {
   const double v = std::strtod(it->second.c_str(), &end);
   TURB_CHECK_MSG(end != it->second.c_str(), "not a number: --" << key);
   return v;
+}
+
+void apply_runtime_flags(const CliArgs& args) {
+  if (args.has("threads")) {
+    const long threads = args.get_int("threads", 0);
+    TURB_CHECK_MSG(threads >= 1, "--threads must be >= 1, got " << threads);
+    set_global_threads(static_cast<std::size_t>(threads));
+  }
+  const std::string metrics = args.get("metrics-out", "");
+  if (!metrics.empty()) obs::dump_json_at_exit(metrics);
 }
 
 bool CliArgs::get_flag(const std::string& key, bool fallback) const {

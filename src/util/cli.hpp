@@ -36,4 +36,11 @@ class CliArgs {
   std::vector<std::string> positional_;
 };
 
+/// Apply the process-wide flags every driver (examples, benches) shares:
+///   --threads N       size the global thread pool (must precede the first
+///                     parallel region; errors otherwise)
+///   --metrics-out F   dump the obs metrics registry to F as JSON when the
+///                     process exits normally
+void apply_runtime_flags(const CliArgs& args);
+
 }  // namespace turb

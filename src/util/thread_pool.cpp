@@ -17,6 +17,12 @@ std::size_t default_thread_count() {
   return hw > 0 ? hw : 1;
 }
 
+// Explicit width requested via set_global_threads (0 = not requested) and
+// whether the global pool has been materialised (after which a request is a
+// caller error — the workers are already running).
+std::atomic<std::size_t> g_requested_threads{0};
+std::atomic<bool> g_global_created{false};
+
 }  // namespace
 
 ThreadPool::ThreadPool(std::size_t num_threads) {
@@ -128,8 +134,17 @@ void ThreadPool::parallel_for(index_t begin, index_t end,
 }
 
 ThreadPool& ThreadPool::global() {
-  static ThreadPool pool;
+  g_global_created.store(true, std::memory_order_release);
+  static ThreadPool pool(g_requested_threads.load(std::memory_order_acquire));
   return pool;
+}
+
+void set_global_threads(std::size_t num_threads) {
+  TURB_CHECK_MSG(num_threads >= 1, "set_global_threads: need >= 1 thread");
+  TURB_CHECK_MSG(!g_global_created.load(std::memory_order_acquire),
+                 "set_global_threads must run before the global pool is "
+                 "first used (its workers cannot be resized)");
+  g_requested_threads.store(num_threads, std::memory_order_release);
 }
 
 void parallel_for(index_t begin, index_t end,

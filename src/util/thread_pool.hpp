@@ -42,7 +42,8 @@ class ThreadPool {
       index_t begin, index_t end,
       const std::function<void(index_t, index_t)>& body);
 
-  /// Process-wide default pool (size from TURBFNO_THREADS or hardware).
+  /// Process-wide default pool. Sized by set_global_threads() when called
+  /// before first use, else by TURBFNO_THREADS, else hardware_concurrency().
   static ThreadPool& global();
 
  private:
@@ -69,6 +70,11 @@ class ThreadPool {
   std::size_t active_ = 0;
   bool stop_ = false;
 };
+
+/// Size the global pool explicitly (overrides the TURBFNO_THREADS env var).
+/// Must be called before the first use of ThreadPool::global() — throws
+/// CheckError once the pool exists, since workers cannot be resized.
+void set_global_threads(std::size_t num_threads);
 
 /// Convenience wrapper over the global pool.
 void parallel_for(index_t begin, index_t end,

@@ -179,9 +179,13 @@ TEST(Trainer, EvaluateMatchesManualError) {
   TensorF x({3, 3, 8, 8}), y({3, 2, 8, 8});
   x.fill_normal(rng, 0.0, 1.0);
   y.fill_normal(rng, 0.0, 1.0);
-  const double err = evaluate_fno(model, x, y, 2);
+  const EvalResult eval = evaluate_fno(model, x, y, 2);
   const TensorF pred = model.forward(x);
-  EXPECT_NEAR(err, nn::relative_l2_error(pred, y), 1e-6);
+  EXPECT_NEAR(eval.rel_l2, nn::relative_l2_error(pred, y), 1e-6);
+  EXPECT_EQ(eval.n_samples, 3);
+  EXPECT_GE(eval.seconds, 0.0);
+  // Thin compatibility wrapper returns the same scalar.
+  EXPECT_DOUBLE_EQ(evaluate_fno_error(model, x, y, 2), eval.rel_l2);
 }
 
 // --- rollout -------------------------------------------------------------------
