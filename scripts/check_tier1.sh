@@ -1,7 +1,14 @@
 #!/usr/bin/env bash
-# Tier-1 gate: configure, build, run the unit tests, then smoke-check the
-# observability pipeline by running one bench with --metrics-out and
-# verifying the JSON contains the fft/*, nn/*, and train/* spans.
+# Tier-1 gate: configure, build, run the unit tests at two pool widths, then
+# smoke-check the observability pipeline.
+#
+#  1. ctest under TURBFNO_THREADS=1 and again under TURBFNO_THREADS=4. The
+#     determinism suite writes its trained-weight dumps
+#     (determinism_weights_*.tnn) into the test working directory; the two
+#     runs' dumps are diffed byte-for-byte, extending the thread-count
+#     determinism contract across processes and pool widths.
+#  2. One bench with --metrics-out, asserting the exported JSON contains the
+#     fft/*, nn/*, and train/* spans.
 #
 # Usage: scripts/check_tier1.sh [build-dir]   (default: build)
 set -euo pipefail
@@ -11,7 +18,34 @@ BUILD_DIR="${1:-build}"
 
 cmake -B "$BUILD_DIR" -S .
 cmake --build "$BUILD_DIR" -j
-ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
+
+DUMP_DIR="$BUILD_DIR/tests"
+DUMPS=(determinism_weights_t1.tnn determinism_weights_t2.tnn
+       determinism_weights_t4.tnn determinism_weights_global.tnn)
+SAVE_DIR="$BUILD_DIR/determinism_threads1"
+
+run_ctest() {
+  TURBFNO_THREADS="$1" ctest --test-dir "$BUILD_DIR" --output-on-failure \
+      -j "$(nproc)"
+}
+
+rm -rf "$SAVE_DIR" && mkdir -p "$SAVE_DIR"
+run_ctest 1
+for dump in "${DUMPS[@]}"; do
+  [[ -f "$DUMP_DIR/$dump" ]] || {
+    echo "check_tier1: determinism dump $dump missing after ctest run" >&2
+    exit 1
+  }
+  cp "$DUMP_DIR/$dump" "$SAVE_DIR/$dump"
+done
+
+run_ctest 4
+for dump in "${DUMPS[@]}"; do
+  cmp "$SAVE_DIR/$dump" "$DUMP_DIR/$dump" || {
+    echo "check_tier1: $dump differs between TURBFNO_THREADS=1 and =4 runs" >&2
+    exit 1
+  }
+done
 
 METRICS="$BUILD_DIR/check_tier1_metrics.json"
 rm -f "$METRICS"
@@ -26,4 +60,4 @@ for span in '"fft/r2c"' '"nn/linear_fwd"' '"train/forward"'; do
 done
 python3 -c "import json,sys; json.load(open(sys.argv[1]))" "$METRICS"
 
-echo "check_tier1: OK (tests passed, metrics JSON valid: $METRICS)"
+echo "check_tier1: OK (tests passed at 1 and 4 threads, determinism dumps identical, metrics JSON valid: $METRICS)"

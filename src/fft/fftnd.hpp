@@ -34,23 +34,30 @@ void c2c_axis(Tensor<std::complex<T>>& x, std::size_t axis, bool forward) {
   const PlanC2C<T>& p = plan<T>(n);
   cpx* data = x.data();
 
+  // Lines are independent (disjoint read/write slices), so batch dispatch is
+  // chunked over the pool: each task transforms a contiguous run of lines,
+  // amortising the dispatch cost over many transforms.
   if (inner == 1) {
-    parallel_for(0, outer, [&](index_t o) {
-      cpx* line = data + o * n;
-      forward ? p.forward(line) : p.inverse(line);
+    parallel_for_chunked(0, outer, [&](index_t ob, index_t oe) {
+      for (index_t o = ob; o < oe; ++o) {
+        cpx* line = data + o * n;
+        forward ? p.forward(line) : p.inverse(line);
+      }
     });
     return;
   }
 
-  parallel_for(0, outer * inner, [&](index_t t) {
-    const index_t o = t / inner;
-    const index_t i = t % inner;
-    cpx* base = data + o * n * inner + i;
+  parallel_for_chunked(0, outer * inner, [&](index_t tb, index_t te) {
     thread_local std::vector<cpx> line;
     line.resize(static_cast<std::size_t>(n));
-    for (index_t j = 0; j < n; ++j) line[static_cast<std::size_t>(j)] = base[j * inner];
-    forward ? p.forward(line.data()) : p.inverse(line.data());
-    for (index_t j = 0; j < n; ++j) base[j * inner] = line[static_cast<std::size_t>(j)];
+    for (index_t t = tb; t < te; ++t) {
+      const index_t o = t / inner;
+      const index_t i = t % inner;
+      cpx* base = data + o * n * inner + i;
+      for (index_t j = 0; j < n; ++j) line[static_cast<std::size_t>(j)] = base[j * inner];
+      forward ? p.forward(line.data()) : p.inverse(line.data());
+      for (index_t j = 0; j < n; ++j) base[j * inner] = line[static_cast<std::size_t>(j)];
+    }
   });
 }
 
@@ -74,8 +81,10 @@ Tensor<std::complex<T>> rfftn(const Tensor<T>& x, int ndim) {
   const index_t out_row = out_shape[rank - 1];
   const T* in_data = x.data();
   cpx* out_data = out.data();
-  parallel_for(0, rows, [&](index_t r) {
-    rfft(in_data + r * n_last, out_data + r * out_row, n_last);
+  parallel_for_chunked(0, rows, [&](index_t rb, index_t re) {
+    for (index_t r = rb; r < re; ++r) {
+      rfft(in_data + r * n_last, out_data + r * out_row, n_last);
+    }
   });
 
   // Remaining (complex) transform axes, innermost-first order is arbitrary.
@@ -110,8 +119,10 @@ Tensor<T> irfftn(const Tensor<std::complex<T>>& x, int ndim, index_t n_last) {
   lines.add(rows);
   const cpx* in_data = work.data();
   T* out_data = out.data();
-  parallel_for(0, rows, [&](index_t r) {
-    irfft(in_data + r * in_row, out_data + r * n_last, n_last);
+  parallel_for_chunked(0, rows, [&](index_t rb, index_t re) {
+    for (index_t r = rb; r < re; ++r) {
+      irfft(in_data + r * in_row, out_data + r * n_last, n_last);
+    }
   });
   return out;
 }

@@ -5,6 +5,7 @@
 #include "nn/loss.hpp"
 #include "nn/optimizer.hpp"
 #include "obs/obs.hpp"
+#include "util/thread_pool.hpp"
 #include "util/timer.hpp"
 
 namespace turb::fno {
@@ -36,6 +37,11 @@ TrainResult train_fno(Fno& model, nn::DataLoader& loader,
   obs::TimerStat& span_backward = obs::timer("train/backward");
   obs::TimerStat& span_optimizer = obs::timer("train/optimizer");
   obs::Gauge& gauge_lr = obs::gauge("train/lr");
+  // Parallel width the train/* spans ran under (the spans themselves measure
+  // wall time on the calling thread, so they stay correct aggregates when
+  // the kernels inside them fan out over the pool).
+  obs::gauge("train/threads")
+      .set(static_cast<double>(ThreadPool::current().size()));
 
   TrainResult result;
   Timer total;

@@ -1,6 +1,7 @@
 #include "nn/linear.hpp"
 
 #include <cmath>
+#include <vector>
 
 #include "obs/obs.hpp"
 #include "tensor/gemm.hpp"
@@ -87,25 +88,47 @@ TensorF Linear::backward(const TensorF& grad_out) {
   });
 
   // dW += Σ_n dY[n] (C_out×S) · X[n]ᵀ (S×C_in);  db += Σ_{n,s} dY.
-  // Accumulated serially over the batch: the per-sample GEMMs above carry the
-  // parallel work, and serial accumulation avoids gradient races.
+  // Batch-parallel with per-slab scratch folded in slot order: the slab
+  // partition is a fixed function of the batch size (see parallel_for_slabs),
+  // so the accumulation tree — and therefore the float result — is bitwise
+  // identical at every thread count, with no races and no atomics.
+  const index_t wsize = out_channels_ * in_channels_;
+  const index_t slabs = slab_count(0, batch, kGradSlabs);
+  std::vector<float> wscratch(static_cast<std::size_t>(slabs * wsize), 0.0f);
+  std::vector<float> bscratch(
+      has_bias_ ? static_cast<std::size_t>(slabs * out_channels_) : 0, 0.0f);
+  parallel_for_slabs(0, batch, kGradSlabs,
+                     [&](index_t slot, index_t nb, index_t ne) {
+    float* gw_s = wscratch.data() + slot * wsize;
+    for (index_t n = nb; n < ne; ++n) {
+      const float* gn = grad_out.data() + n * out_channels_ * s;
+      const float* xn = input_.data() + n * in_channels_ * s;
+      gemm_nt<float>(out_channels_, in_channels_, s, 1.0f, gn, s, xn, s, 1.0f,
+                     gw_s, in_channels_);
+    }
+    if (has_bias_) {
+      float* gb_s = bscratch.data() + slot * out_channels_;
+      for (index_t n = nb; n < ne; ++n) {
+        const float* gn = grad_out.data() + n * out_channels_ * s;
+        for (index_t o = 0; o < out_channels_; ++o) {
+          const float* row = gn + o * s;
+          double acc = 0.0;
+          for (index_t j = 0; j < s; ++j) acc += row[j];
+          gb_s[o] += static_cast<float>(acc);
+        }
+      }
+    }
+  });
   float* gw = weight_.grad.data();
-  for (index_t n = 0; n < batch; ++n) {
-    const float* gn = grad_out.data() + n * out_channels_ * s;
-    const float* xn = input_.data() + n * in_channels_ * s;
-    gemm_nt<float>(out_channels_, in_channels_, s, 1.0f, gn, s, xn, s, 1.0f,
-                   gw, in_channels_);
+  for (index_t slot = 0; slot < slabs; ++slot) {
+    const float* gw_s = wscratch.data() + slot * wsize;
+    for (index_t j = 0; j < wsize; ++j) gw[j] += gw_s[j];
   }
   if (has_bias_) {
     float* gb = bias_.grad.data();
-    for (index_t n = 0; n < batch; ++n) {
-      const float* gn = grad_out.data() + n * out_channels_ * s;
-      for (index_t o = 0; o < out_channels_; ++o) {
-        const float* row = gn + o * s;
-        double acc = 0.0;
-        for (index_t j = 0; j < s; ++j) acc += row[j];
-        gb[o] += static_cast<float>(acc);
-      }
+    for (index_t slot = 0; slot < slabs; ++slot) {
+      const float* gb_s = bscratch.data() + slot * out_channels_;
+      for (index_t o = 0; o < out_channels_; ++o) gb[o] += gb_s[o];
     }
   }
   return grad_in;

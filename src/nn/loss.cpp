@@ -1,10 +1,21 @@
 #include "nn/loss.hpp"
 
 #include <cmath>
+#include <vector>
 
 #include "util/common.hpp"
+#include "util/thread_pool.hpp"
 
 namespace turb::nn {
+
+namespace {
+
+/// Slab count for the elementwise loss reductions — fixed (independent of
+/// the pool width) so the partial-sum fold order, and therefore the float
+/// result, is identical at every thread count.
+constexpr index_t kLossSlabs = 16;
+
+}  // namespace
 
 LossResult mse_loss(const TensorF& pred, const TensorF& target) {
   TURB_CHECK(pred.shape() == target.shape());
@@ -12,15 +23,25 @@ LossResult mse_loss(const TensorF& pred, const TensorF& target) {
   TURB_CHECK(n > 0);
   LossResult res;
   res.grad = TensorF(pred.shape());
-  double acc = 0.0;
   const float* p = pred.data();
   const float* t = target.data();
   float* g = res.grad.data();
   const float scale = 2.0f / static_cast<float>(n);
-  for (index_t i = 0; i < n; ++i) {
-    const float d = p[i] - t[i];
-    acc += static_cast<double>(d) * d;
-    g[i] = scale * d;
+  const index_t slabs = slab_count(0, n, kLossSlabs);
+  std::vector<double> partial(static_cast<std::size_t>(slabs), 0.0);
+  parallel_for_slabs(0, n, kLossSlabs,
+                     [&](index_t slot, index_t ib, index_t ie) {
+    double acc = 0.0;
+    for (index_t i = ib; i < ie; ++i) {
+      const float d = p[i] - t[i];
+      acc += static_cast<double>(d) * d;
+      g[i] = scale * d;
+    }
+    partial[static_cast<std::size_t>(slot)] = acc;
+  });
+  double acc = 0.0;
+  for (index_t slot = 0; slot < slabs; ++slot) {
+    acc += partial[static_cast<std::size_t>(slot)];
   }
   res.value = acc / static_cast<double>(n);
   return res;
@@ -37,8 +58,11 @@ LossResult relative_l2_loss(const TensorF& pred, const TensorF& target) {
   const float* t = target.data();
   float* g = res.grad.data();
 
-  double total = 0.0;
-  for (index_t n = 0; n < batch; ++n) {
+  // Per-sample norms and gradients are independent — parallel over the
+  // batch; the scalar loss is then folded serially in sample order, so the
+  // value matches the serial loop bitwise at every thread count.
+  std::vector<double> ratio(static_cast<std::size_t>(batch), 0.0);
+  parallel_for(0, batch, [&](index_t n) {
     const float* pn = p + n * per;
     const float* tn = t + n * per;
     double diff2 = 0.0, targ2 = 0.0;
@@ -49,7 +73,7 @@ LossResult relative_l2_loss(const TensorF& pred, const TensorF& target) {
     }
     const double dn = std::sqrt(diff2);
     const double tn_norm = std::sqrt(std::max(targ2, 1e-30));
-    total += dn / tn_norm;
+    ratio[static_cast<std::size_t>(n)] = dn / tn_norm;
     // dL/dpred_n = (pred-target) / (‖diff‖·‖target‖·N)
     const double denom = std::max(dn, 1e-30) * tn_norm *
                          static_cast<double>(batch);
@@ -58,6 +82,10 @@ LossResult relative_l2_loss(const TensorF& pred, const TensorF& target) {
     for (index_t i = 0; i < per; ++i) {
       gn[i] = s * (pn[i] - tn[i]);
     }
+  });
+  double total = 0.0;
+  for (index_t n = 0; n < batch; ++n) {
+    total += ratio[static_cast<std::size_t>(n)];
   }
   res.value = total / static_cast<double>(batch);
   return res;
@@ -69,15 +97,20 @@ double relative_l2_error(const TensorF& pred, const TensorF& target) {
   const index_t per = pred.size() / batch;
   const float* p = pred.data();
   const float* t = target.data();
-  double total = 0.0;
-  for (index_t n = 0; n < batch; ++n) {
+  std::vector<double> ratio(static_cast<std::size_t>(batch), 0.0);
+  parallel_for(0, batch, [&](index_t n) {
     double diff2 = 0.0, targ2 = 0.0;
     for (index_t i = 0; i < per; ++i) {
       const double d = static_cast<double>(p[n * per + i]) - t[n * per + i];
       diff2 += d * d;
       targ2 += static_cast<double>(t[n * per + i]) * t[n * per + i];
     }
-    total += std::sqrt(diff2) / std::sqrt(std::max(targ2, 1e-30));
+    ratio[static_cast<std::size_t>(n)] =
+        std::sqrt(diff2) / std::sqrt(std::max(targ2, 1e-30));
+  });
+  double total = 0.0;
+  for (index_t n = 0; n < batch; ++n) {
+    total += ratio[static_cast<std::size_t>(n)];
   }
   return total / static_cast<double>(batch);
 }

@@ -17,6 +17,14 @@
 
 namespace turb::nn {
 
+/// Slab count for batch-parallel gradient accumulation (Linear::backward,
+/// SpectralConv::backward). The batch is split into at most this many
+/// contiguous slabs with private scratch, folded in slot order — the count
+/// is a fixed constant (never the pool width) so gradients are bitwise
+/// identical at every thread count. See "Parallelism & determinism" in
+/// DESIGN.md.
+inline constexpr index_t kGradSlabs = 8;
+
 class Module {
  public:
   virtual ~Module() = default;

@@ -2,7 +2,9 @@
 
 #include <cmath>
 
+#include "obs/obs.hpp"
 #include "util/common.hpp"
+#include "util/thread_pool.hpp"
 
 namespace turb::nn {
 
@@ -29,6 +31,7 @@ void Adam::step() {
   const float inv_bc1 = static_cast<float>(1.0 / bc1);
   const float inv_bc2 = static_cast<float>(1.0 / bc2);
 
+  TURB_TRACE_SCOPE("nn/adam_step");
   for (std::size_t pi = 0; pi < params_.size(); ++pi) {
     Parameter& p = *params_[pi];
     float* w = p.value.data();
@@ -36,15 +39,19 @@ void Adam::step() {
     float* m = m_[pi].data();
     float* v = v_[pi].data();
     const index_t n = p.size();
-    for (index_t i = 0; i < n; ++i) {
-      // L2-coupled weight decay (PyTorch Adam semantics, not AdamW).
-      const float gi = g[i] + wd * w[i];
-      m[i] = b1 * m[i] + (1.0f - b1) * gi;
-      v[i] = b2 * v[i] + (1.0f - b2) * gi * gi;
-      const float mhat = m[i] * inv_bc1;
-      const float vhat = v[i] * inv_bc2;
-      w[i] -= lr * mhat / (std::sqrt(vhat) + eps);
-    }
+    // Purely elementwise — each coordinate is read and written by exactly
+    // one task, so the update is bitwise identical at every thread count.
+    parallel_for_chunked(0, n, [&](index_t ib, index_t ie) {
+      for (index_t i = ib; i < ie; ++i) {
+        // L2-coupled weight decay (PyTorch Adam semantics, not AdamW).
+        const float gi = g[i] + wd * w[i];
+        m[i] = b1 * m[i] + (1.0f - b1) * gi;
+        v[i] = b2 * v[i] + (1.0f - b2) * gi * gi;
+        const float mhat = m[i] * inv_bc1;
+        const float vhat = v[i] * inv_bc2;
+        w[i] -= lr * mhat / (std::sqrt(vhat) + eps);
+      }
+    });
   }
 }
 

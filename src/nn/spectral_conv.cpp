@@ -1,6 +1,7 @@
 #include "nn/spectral_conv.hpp"
 
 #include <cmath>
+#include <vector>
 
 #include "fft/fftnd.hpp"
 #include "obs/obs.hpp"
@@ -195,21 +196,51 @@ TensorF SpectralConv::backward(const TensorF& grad_out) {
   });
 
   // dW[i,o,k] += Σ_n conj(X̂[n,i,k]) · dŶ[n,o,k] · bin_weight/M.
-  float* gw = weight_.grad.data();
-  parallel_for(0, ci, [&](index_t i) {
-    for (index_t k = 0; k < K; ++k) {
-      const index_t off = spec_offsets_[static_cast<std::size_t>(k)];
-      const float scale = bin_weight_[static_cast<std::size_t>(k)] * inv_m;
-      for (index_t o = 0; o < co; ++o) {
-        float ar = 0.0f, ai = 0.0f;
-        for (index_t n = 0; n < batch; ++n) {
-          const cpxf xv = xs[(n * ci + i) * spec_slab_ + off];
-          const cpxf gv = gs[(n * co + o) * spec_slab_ + off];
-          // conj(x) * g
-          ar += xv.real() * gv.real() + xv.imag() * gv.imag();
-          ai += xv.real() * gv.imag() - xv.imag() * gv.real();
+  //
+  // Batch-parallel with per-slab gradient scratch: the batch is split into a
+  // fixed number of contiguous slabs (independent of the pool width — see
+  // parallel_for_slabs), each slab accumulates its partial dW into private
+  // scratch, and the slabs are folded in ascending slot order. That fixed
+  // reduction tree makes the gradient bitwise identical at every thread
+  // count; atomics on the float accumulators would not be.
+  const index_t wsize = ci * co * K * 2;
+  const index_t slabs = slab_count(0, batch, kGradSlabs);
+  std::vector<float> scratch(static_cast<std::size_t>(slabs * wsize), 0.0f);
+  parallel_for_slabs(0, batch, kGradSlabs,
+                     [&](index_t slot, index_t nb, index_t ne) {
+    float* acc = scratch.data() + slot * wsize;
+    for (index_t n = nb; n < ne; ++n) {
+      const cpxf* xn = xs + n * ci * spec_slab_;
+      const cpxf* gn = gs + n * co * spec_slab_;
+      for (index_t i = 0; i < ci; ++i) {
+        for (index_t k = 0; k < K; ++k) {
+          const index_t off = spec_offsets_[static_cast<std::size_t>(k)];
+          const cpxf xv = xn[i * spec_slab_ + off];
+          for (index_t o = 0; o < co; ++o) {
+            const cpxf gv = gn[o * spec_slab_ + off];
+            float* a = acc + ((i * co + o) * K + k) * 2;
+            // conj(x) * g
+            a[0] += xv.real() * gv.real() + xv.imag() * gv.imag();
+            a[1] += xv.real() * gv.imag() - xv.imag() * gv.real();
+          }
         }
-        float* wk = gw + ((i * co + o) * K + k) * 2;
+      }
+    }
+  });
+  // Fold slabs in fixed order. Each weight element is written by one task
+  // only (disjoint ranges), so this inner parallelism is also deterministic.
+  float* gw = weight_.grad.data();
+  parallel_for_chunked(0, ci * co, [&](index_t pb, index_t pe) {
+    for (index_t p = pb; p < pe; ++p) {
+      for (index_t k = 0; k < K; ++k) {
+        const float scale = bin_weight_[static_cast<std::size_t>(k)] * inv_m;
+        float ar = 0.0f, ai = 0.0f;
+        for (index_t s = 0; s < slabs; ++s) {
+          const float* a = scratch.data() + s * wsize + (p * K + k) * 2;
+          ar += a[0];
+          ai += a[1];
+        }
+        float* wk = gw + (p * K + k) * 2;
         wk[0] += ar * scale;
         wk[1] += ai * scale;
       }

@@ -15,6 +15,7 @@
 
 #include "obs/obs.hpp"
 #include "util/common.hpp"
+#include "util/thread_pool.hpp"
 
 namespace turb {
 
@@ -30,67 +31,93 @@ inline void count_gemm(index_t m, index_t n, index_t k) {
   flops.add(2 * m * n * k);
 }
 
+/// Minimum multiply-add count before a GEMM is worth row-tiling over the
+/// pool (below this the dispatch overhead dominates the arithmetic).
+inline constexpr index_t kParallelGemmFlops = index_t{1} << 15;
+
+/// Run body(row_begin, row_end) over [0, m), row-tiled on the pool when the
+/// call is large enough and not already inside a parallel region (nested
+/// calls — e.g. the per-sample GEMMs of a batch-parallel layer — run
+/// serially). Every C row is produced by exactly one task with an unchanged
+/// inner-loop order, so the result is bitwise identical to the serial kernel
+/// at every thread count.
+template <typename Body>
+inline void gemm_rows(index_t m, index_t n, index_t k, const Body& body) {
+  if (m >= 2 && m * n * k >= kParallelGemmFlops &&
+      !ThreadPool::in_parallel_region()) {
+    parallel_for_chunked(0, m, body);
+  } else {
+    body(0, m);
+  }
+}
+
 }  // namespace detail
 
 template <typename T>
 void gemm_nn(index_t m, index_t n, index_t k, T alpha, const T* a, index_t lda,
              const T* b, index_t ldb, T beta, T* c, index_t ldc) {
   detail::count_gemm(m, n, k);
-  for (index_t i = 0; i < m; ++i) {
-    T* ci = c + i * ldc;
-    if (beta == T{0}) {
-      for (index_t j = 0; j < n; ++j) ci[j] = T{0};
-    } else if (beta != T{1}) {
-      for (index_t j = 0; j < n; ++j) ci[j] *= beta;
-    }
-    const T* ai = a + i * lda;
-    for (index_t p = 0; p < k; ++p) {
-      const T aip = alpha * ai[p];
-      const T* bp = b + p * ldb;
-      for (index_t j = 0; j < n; ++j) {
-        ci[j] += aip * bp[j];
+  detail::gemm_rows(m, n, k, [=](index_t i0, index_t i1) {
+    for (index_t i = i0; i < i1; ++i) {
+      T* ci = c + i * ldc;
+      if (beta == T{0}) {
+        for (index_t j = 0; j < n; ++j) ci[j] = T{0};
+      } else if (beta != T{1}) {
+        for (index_t j = 0; j < n; ++j) ci[j] *= beta;
+      }
+      const T* ai = a + i * lda;
+      for (index_t p = 0; p < k; ++p) {
+        const T aip = alpha * ai[p];
+        const T* bp = b + p * ldb;
+        for (index_t j = 0; j < n; ++j) {
+          ci[j] += aip * bp[j];
+        }
       }
     }
-  }
+  });
 }
 
 template <typename T>
 void gemm_tn(index_t m, index_t n, index_t k, T alpha, const T* a, index_t lda,
              const T* b, index_t ldb, T beta, T* c, index_t ldc) {
   detail::count_gemm(m, n, k);
-  for (index_t i = 0; i < m; ++i) {
-    T* ci = c + i * ldc;
-    if (beta == T{0}) {
-      for (index_t j = 0; j < n; ++j) ci[j] = T{0};
-    } else if (beta != T{1}) {
-      for (index_t j = 0; j < n; ++j) ci[j] *= beta;
-    }
-    for (index_t p = 0; p < k; ++p) {
-      const T aip = alpha * a[p * lda + i];  // Aᵀ[i,p]
-      const T* bp = b + p * ldb;
-      for (index_t j = 0; j < n; ++j) {
-        ci[j] += aip * bp[j];
+  detail::gemm_rows(m, n, k, [=](index_t i0, index_t i1) {
+    for (index_t i = i0; i < i1; ++i) {
+      T* ci = c + i * ldc;
+      if (beta == T{0}) {
+        for (index_t j = 0; j < n; ++j) ci[j] = T{0};
+      } else if (beta != T{1}) {
+        for (index_t j = 0; j < n; ++j) ci[j] *= beta;
+      }
+      for (index_t p = 0; p < k; ++p) {
+        const T aip = alpha * a[p * lda + i];  // Aᵀ[i,p]
+        const T* bp = b + p * ldb;
+        for (index_t j = 0; j < n; ++j) {
+          ci[j] += aip * bp[j];
+        }
       }
     }
-  }
+  });
 }
 
 template <typename T>
 void gemm_nt(index_t m, index_t n, index_t k, T alpha, const T* a, index_t lda,
              const T* b, index_t ldb, T beta, T* c, index_t ldc) {
   detail::count_gemm(m, n, k);
-  for (index_t i = 0; i < m; ++i) {
-    const T* ai = a + i * lda;
-    T* ci = c + i * ldc;
-    for (index_t j = 0; j < n; ++j) {
-      const T* bj = b + j * ldb;
-      T acc{};
-      for (index_t p = 0; p < k; ++p) {
-        acc += ai[p] * bj[p];
+  detail::gemm_rows(m, n, k, [=](index_t i0, index_t i1) {
+    for (index_t i = i0; i < i1; ++i) {
+      const T* ai = a + i * lda;
+      T* ci = c + i * ldc;
+      for (index_t j = 0; j < n; ++j) {
+        const T* bj = b + j * ldb;
+        T acc{};
+        for (index_t p = 0; p < k; ++p) {
+          acc += ai[p] * bj[p];
+        }
+        ci[j] = alpha * acc + (beta == T{0} ? T{0} : beta * ci[j]);
       }
-      ci[j] = alpha * acc + (beta == T{0} ? T{0} : beta * ci[j]);
     }
-  }
+  });
 }
 
 }  // namespace turb

@@ -23,6 +23,20 @@ std::size_t default_thread_count() {
 std::atomic<std::size_t> g_requested_threads{0};
 std::atomic<bool> g_global_created{false};
 
+// Innermost Scope override on this thread (nullptr = use the global pool).
+thread_local ThreadPool* t_scope_pool = nullptr;
+
+// Depth of parallel_for bodies executing on this thread. Non-zero means a
+// nested parallel_for must run serially (single-task pool → deadlock) and,
+// by design, always does — so a kernel's numeric result never depends on
+// whether it was reached from inside another parallel region.
+thread_local int t_parallel_depth = 0;
+
+struct ParallelRegionGuard {
+  ParallelRegionGuard() noexcept { ++t_parallel_depth; }
+  ~ParallelRegionGuard() { --t_parallel_depth; }
+};
+
 }  // namespace
 
 ThreadPool::ThreadPool(std::size_t num_threads) {
@@ -46,6 +60,7 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::run_task(Task& task) {
+  ParallelRegionGuard region;
   while (true) {
     const index_t i = task.next.fetch_add(task.chunk, std::memory_order_relaxed);
     if (i >= task.end) break;
@@ -88,7 +103,10 @@ void ThreadPool::parallel_for_chunked(
     const std::function<void(index_t, index_t)>& body) {
   if (begin >= end) return;
   const index_t n = end - begin;
-  if (workers_.empty() || n == 1) {
+  if (workers_.empty() || n == 1 || t_parallel_depth > 0) {
+    // Serial path: no workers, a single index, or a nested region. Mark the
+    // region anyway so nesting depth behaves identically at every width.
+    ParallelRegionGuard region;
     body(begin, end);
     return;
   }
@@ -139,6 +157,24 @@ ThreadPool& ThreadPool::global() {
   return pool;
 }
 
+ThreadPool& ThreadPool::current() {
+  return t_scope_pool != nullptr ? *t_scope_pool : global();
+}
+
+bool ThreadPool::in_parallel_region() noexcept { return t_parallel_depth > 0; }
+
+ThreadPool::Scope::Scope(std::size_t num_threads)
+    : owned_(std::make_unique<ThreadPool>(num_threads)),
+      previous_(t_scope_pool) {
+  t_scope_pool = owned_.get();
+}
+
+ThreadPool::Scope::Scope(ThreadPool& pool) : previous_(t_scope_pool) {
+  t_scope_pool = &pool;
+}
+
+ThreadPool::Scope::~Scope() { t_scope_pool = previous_; }
+
 void set_global_threads(std::size_t num_threads) {
   TURB_CHECK_MSG(num_threads >= 1, "set_global_threads: need >= 1 thread");
   TURB_CHECK_MSG(!g_global_created.load(std::memory_order_acquire),
@@ -149,12 +185,35 @@ void set_global_threads(std::size_t num_threads) {
 
 void parallel_for(index_t begin, index_t end,
                   const std::function<void(index_t)>& body) {
-  ThreadPool::global().parallel_for(begin, end, body);
+  ThreadPool::current().parallel_for(begin, end, body);
 }
 
 void parallel_for_chunked(index_t begin, index_t end,
                           const std::function<void(index_t, index_t)>& body) {
-  ThreadPool::global().parallel_for_chunked(begin, end, body);
+  ThreadPool::current().parallel_for_chunked(begin, end, body);
+}
+
+index_t slab_count(index_t begin, index_t end, index_t slots) {
+  if (end <= begin) return 0;
+  return std::min<index_t>(slots, end - begin);
+}
+
+void parallel_for_slabs(
+    index_t begin, index_t end, index_t slots,
+    const std::function<void(index_t, index_t, index_t)>& body) {
+  const index_t slabs = slab_count(begin, end, slots);
+  if (slabs <= 0) return;
+  const index_t n = end - begin;
+  const index_t q = n / slabs;
+  const index_t r = n % slabs;
+  // Slab s covers q indices (q+1 for the first r slabs) — a function of
+  // (n, slots) only, so the reduction tree built on top of it is identical
+  // at every pool width.
+  parallel_for(0, slabs, [&](index_t s) {
+    const index_t b = begin + s * q + std::min<index_t>(s, r);
+    const index_t e = b + q + (s < r ? 1 : 0);
+    body(s, b, e);
+  });
 }
 
 }  // namespace turb

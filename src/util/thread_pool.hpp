@@ -10,6 +10,7 @@
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -33,6 +34,10 @@ class ThreadPool {
   /// Run body(i) for i in [begin, end), splitting the range across workers.
   /// Blocks until every index has been processed. Exceptions thrown by the
   /// body are captured and rethrown (first one wins) on the calling thread.
+  /// Called from inside another parallel region, the body runs serially on
+  /// the calling thread (the pool dispatches one task at a time, so nested
+  /// submission would deadlock — and serial nesting keeps results
+  /// independent of where a kernel happens to be invoked from).
   void parallel_for(index_t begin, index_t end,
                     const std::function<void(index_t)>& body);
 
@@ -45,6 +50,35 @@ class ThreadPool {
   /// Process-wide default pool. Sized by set_global_threads() when called
   /// before first use, else by TURBFNO_THREADS, else hardware_concurrency().
   static ThreadPool& global();
+
+  /// Pool the free-function wrappers dispatch to: the innermost active
+  /// Scope's pool on this thread, else the global pool.
+  static ThreadPool& current();
+
+  /// True while the calling thread is executing a parallel_for body (as the
+  /// submitting thread or a worker). Kernels use this to fall back to their
+  /// serial path instead of nesting a second parallel region.
+  [[nodiscard]] static bool in_parallel_region() noexcept;
+
+  /// RAII override of the pool used by the free-function wrappers on the
+  /// constructing thread. Lets tests and benches run the same code at
+  /// several parallel widths inside one process (the global pool cannot be
+  /// resized once its workers exist). Scopes nest; the innermost wins.
+  class Scope {
+   public:
+    /// Dispatch to an owned temporary pool of `num_threads` width.
+    explicit Scope(std::size_t num_threads);
+    /// Dispatch to an existing pool (not owned).
+    explicit Scope(ThreadPool& pool);
+    ~Scope();
+
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+   private:
+    std::unique_ptr<ThreadPool> owned_;
+    ThreadPool* previous_;
+  };
 
  private:
   struct Task {
@@ -83,5 +117,25 @@ void parallel_for(index_t begin, index_t end,
 /// Chunked convenience wrapper over the global pool.
 void parallel_for_chunked(index_t begin, index_t end,
                           const std::function<void(index_t, index_t)>& body);
+
+/// Deterministic-reduction work partition: split [begin, end) into exactly
+/// min(slots, end - begin) contiguous slabs whose boundaries depend only on
+/// the range and `slots` — never on the pool width — and run
+/// body(slot, slab_begin, slab_end) for each slab, in parallel when a pool
+/// is available.
+///
+/// This is the primitive behind the thread-count determinism contract: a
+/// parallel floating-point reduction accumulates each slab into its own
+/// scratch buffer (written by exactly one task) and then folds the slabs in
+/// ascending slot order on the calling thread. Because the partition and the
+/// fold order are fixed, the result is bitwise identical at any thread
+/// count — including 1.
+void parallel_for_slabs(
+    index_t begin, index_t end, index_t slots,
+    const std::function<void(index_t, index_t, index_t)>& body);
+
+/// Number of slabs parallel_for_slabs will actually use for a range
+/// (min(slots, end - begin), at least 0) — callers size scratch with this.
+[[nodiscard]] index_t slab_count(index_t begin, index_t end, index_t slots);
 
 }  // namespace turb

@@ -10,6 +10,7 @@
 #include "fft/real.hpp"
 #include "tensor/tensor.hpp"
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 
 namespace turb::fft {
 namespace {
@@ -323,6 +324,116 @@ TEST(Fftnd, C2cAxisInverseRoundTrip) {
   c2c_axis(y, 1, false);
   for (index_t i = 0; i < x.size(); ++i) {
     ASSERT_NEAR(std::abs(y[i] - x[i]), 0.0, 1e-10);
+  }
+}
+
+// --- batched property tests across thread counts ----------------------------
+//
+// Round-trip and Parseval for Bluestein lines (10, 12, 15) and radix-2
+// lines, on batched tensors, dispatched at pool widths 1, 2, and 4. Line
+// transforms write disjoint slices, so beyond correctness the spectra must
+// be bitwise identical across widths.
+
+constexpr std::size_t kWidths[] = {1, 2, 4};
+
+TEST(FftProperties, BatchedRoundTripBluesteinAndRadix2AcrossThreadCounts) {
+  // Last axis must be even (rfft); 10 and 12 take the Bluestein path, 16 the
+  // radix-2 path. The non-last axes (12, 10 / 16, 16) go through c2c lines.
+  for (const auto& shape : {Shape{3, 2, 12, 10}, Shape{3, 2, 16, 16}}) {
+    Rng rng(900 + shape[3]);
+    TensorD x(shape);
+    x.fill_normal(rng, 0.0, 1.0);
+    for (const std::size_t width : kWidths) {
+      ThreadPool::Scope scope(width);
+      const auto spec = rfftn(x, 2);
+      const TensorD back = irfftn(spec, 2, shape[3]);
+      ASSERT_EQ(back.shape(), x.shape());
+      for (index_t i = 0; i < x.size(); ++i) {
+        ASSERT_NEAR(back[i], x[i], 1e-12)
+            << "width " << width << " n_last " << shape[3] << " i " << i;
+      }
+    }
+  }
+}
+
+TEST(FftProperties, BatchedRoundTripOddBluesteinAcrossThreadCounts) {
+  // 15 is odd, so it exercises the Bluestein path through the complex
+  // transform (rfft requires an even last axis).
+  Rng rng(915);
+  TensorCD x({6, 15, 4});
+  for (index_t i = 0; i < x.size(); ++i) x[i] = {rng.normal(), rng.normal()};
+  for (const std::size_t width : kWidths) {
+    ThreadPool::Scope scope(width);
+    TensorCD y = x;
+    c2c_axis(y, 1, /*forward=*/true);
+    c2c_axis(y, 1, /*forward=*/false);
+    for (index_t i = 0; i < x.size(); ++i) {
+      ASSERT_NEAR(std::abs(y[i] - x[i]), 0.0, 1e-12) << "width " << width;
+    }
+  }
+}
+
+TEST(FftProperties, BatchedParsevalAcrossThreadCounts) {
+  // Real path: Σ|x|² == Σ w·|x̂|²/N per line, with Hermitian multiplicity
+  // w = 2 on interior rfft bins. Checked on the whole batch at once.
+  for (const index_t n_last : {index_t{10}, index_t{12}, index_t{16}}) {
+    Rng rng(920 + n_last);
+    TensorD x({4, 3, n_last});
+    x.fill_normal(rng, 0.0, 1.0);
+    const double time_energy = x.squared_norm();
+    for (const std::size_t width : kWidths) {
+      ThreadPool::Scope scope(width);
+      const auto spec = rfftn(x, 1);
+      const index_t bins = n_last / 2 + 1;
+      double freq_energy = 0.0;
+      for (index_t r = 0; r < 4 * 3; ++r) {
+        for (index_t j = 0; j < bins; ++j) {
+          const double w = (j == 0 || j == n_last / 2) ? 1.0 : 2.0;
+          freq_energy += w * std::norm(spec[r * bins + j]);
+        }
+      }
+      EXPECT_NEAR(freq_energy / static_cast<double>(n_last), time_energy,
+                  1e-10 * time_energy)
+          << "width " << width << " n " << n_last;
+    }
+  }
+}
+
+TEST(FftProperties, BatchedParsevalOddBluesteinAcrossThreadCounts) {
+  Rng rng(930);
+  TensorCD x({5, 15, 3});
+  double time_energy = 0.0;
+  for (index_t i = 0; i < x.size(); ++i) {
+    x[i] = {rng.normal(), rng.normal()};
+    time_energy += std::norm(x[i]);
+  }
+  for (const std::size_t width : kWidths) {
+    ThreadPool::Scope scope(width);
+    TensorCD y = x;
+    c2c_axis(y, 1, /*forward=*/true);
+    double freq_energy = 0.0;
+    for (index_t i = 0; i < y.size(); ++i) freq_energy += std::norm(y[i]);
+    EXPECT_NEAR(freq_energy / 15.0, time_energy, 1e-10 * time_energy)
+        << "width " << width;
+  }
+}
+
+TEST(FftProperties, SpectraBitwiseIdenticalAcrossThreadCounts) {
+  Rng rng(940);
+  TensorD x({4, 2, 12, 10});
+  x.fill_normal(rng, 0.0, 1.0);
+  const auto ref = [&] {
+    ThreadPool::Scope scope(1);
+    return rfftn(x, 2);
+  }();
+  for (const std::size_t width : {std::size_t{2}, std::size_t{4}}) {
+    ThreadPool::Scope scope(width);
+    const auto spec = rfftn(x, 2);
+    ASSERT_EQ(spec.shape(), ref.shape());
+    for (index_t i = 0; i < ref.size(); ++i) {
+      ASSERT_EQ(spec[i].real(), ref[i].real()) << "width " << width;
+      ASSERT_EQ(spec[i].imag(), ref[i].imag()) << "width " << width;
+    }
   }
 }
 

@@ -7,6 +7,7 @@
 #include "nn/gradcheck.hpp"
 #include "nn/loss.hpp"
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 
 namespace turb::fno {
 namespace {
@@ -65,6 +66,27 @@ TEST(Fno, GradcheckParametersEndToEnd) {
   Fno model(small2d(), rng);
   const auto res = nn::gradcheck_parameters(
       model, random_input({1, 3, 8, 8}, 8), 10, 2e-2f);
+  EXPECT_TRUE(res.ok(3e-2)) << "max rel err " << res.max_rel_error;
+}
+
+TEST(Fno, GradcheckInputEndToEndPooled) {
+  // Same end-to-end check with 4 pool workers and a batch wider than the
+  // gradient slab count, so every per-slab scratch reduction in the chain
+  // (spectral dW, linear dW/db) runs its parallel path.
+  ThreadPool::Scope scope(4);
+  Rng rng(5);
+  Fno model(small2d(), rng);
+  const auto res =
+      nn::gradcheck_input(model, random_input({9, 3, 8, 8}, 6), 40, 2e-2f);
+  EXPECT_TRUE(res.ok(3e-2)) << "max rel err " << res.max_rel_error;
+}
+
+TEST(Fno, GradcheckParametersEndToEndPooled) {
+  ThreadPool::Scope scope(4);
+  Rng rng(7);
+  Fno model(small2d(), rng);
+  const auto res = nn::gradcheck_parameters(
+      model, random_input({9, 3, 8, 8}, 8), 10, 2e-2f);
   EXPECT_TRUE(res.ok(3e-2)) << "max rel err " << res.max_rel_error;
 }
 

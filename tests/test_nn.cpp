@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <tuple>
 
 #include "nn/activation.hpp"
 #include "nn/dataloader.hpp"
@@ -12,6 +13,7 @@
 #include "nn/serialize.hpp"
 #include "nn/spectral_conv.hpp"
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 
 namespace turb::nn {
 namespace {
@@ -61,6 +63,35 @@ TEST(Linear, GradcheckParameters) {
   Linear layer(3, 2, rng);
   const auto res = gradcheck_parameters(layer, random_input({2, 3, 6, 6}, 5));
   EXPECT_TRUE(res.ok()) << "max rel err " << res.max_rel_error;
+}
+
+TEST(Linear, GradcheckParametersPooled) {
+  // Batch 9 > kGradSlabs exercises the multi-slab dW/db scratch reduction
+  // with 4 pool workers, not just the serial path.
+  ThreadPool::Scope scope(4);
+  Rng rng(4);
+  Linear layer(3, 2, rng);
+  const auto res = gradcheck_parameters(layer, random_input({9, 3, 6, 6}, 5));
+  EXPECT_TRUE(res.ok()) << "max rel err " << res.max_rel_error;
+}
+
+TEST(Linear, BackwardBitwiseIdenticalAcrossThreadCounts) {
+  const auto grads_at = [](std::size_t width) {
+    ThreadPool::Scope scope(width);
+    Rng rng(14);
+    Linear layer(3, 4, rng);
+    const TensorF x = random_input({9, 3, 6, 6}, 15);
+    const TensorF y = layer.forward(x);
+    const TensorF dx = layer.backward(random_input(y.shape(), 16));
+    return std::tuple{dx, layer.weight().grad, layer.bias().grad};
+  };
+  const auto [dx1, dw1, db1] = grads_at(1);
+  for (const std::size_t width : {std::size_t{2}, std::size_t{4}}) {
+    const auto [dx, dw, db] = grads_at(width);
+    for (index_t i = 0; i < dx1.size(); ++i) ASSERT_EQ(dx[i], dx1[i]) << i;
+    for (index_t i = 0; i < dw1.size(); ++i) ASSERT_EQ(dw[i], dw1[i]) << i;
+    for (index_t i = 0; i < db1.size(); ++i) ASSERT_EQ(db[i], db1[i]) << i;
+  }
 }
 
 TEST(Linear, GradcheckNoBias) {
@@ -161,6 +192,45 @@ TEST(SpectralConv, GradcheckParameters2D) {
   const auto res =
       gradcheck_parameters(conv, random_input({2, 2, 8, 8}, 29), 80, 2e-2f);
   EXPECT_TRUE(res.ok()) << "max rel err " << res.max_rel_error;
+}
+
+TEST(SpectralConv, GradcheckInput2DPooled) {
+  ThreadPool::Scope scope(4);
+  Rng rng(26);
+  SpectralConv conv(2, 2, {4, 4}, rng);
+  const auto res =
+      gradcheck_input(conv, random_input({9, 2, 8, 8}, 27), 60, 2e-2f);
+  EXPECT_TRUE(res.ok()) << "max rel err " << res.max_rel_error;
+}
+
+TEST(SpectralConv, GradcheckParameters2DPooled) {
+  // Batch 9 > kGradSlabs: the per-slab dW scratch buffers and their
+  // fixed-order fold carry real concurrency here (4 workers), so the
+  // analytic gradient is validated on the parallel path, not just serial.
+  ThreadPool::Scope scope(4);
+  Rng rng(28);
+  SpectralConv conv(2, 2, {4, 4}, rng);
+  const auto res =
+      gradcheck_parameters(conv, random_input({9, 2, 8, 8}, 29), 80, 2e-2f);
+  EXPECT_TRUE(res.ok()) << "max rel err " << res.max_rel_error;
+}
+
+TEST(SpectralConv, BackwardBitwiseIdenticalAcrossThreadCounts) {
+  const auto grads_at = [](std::size_t width) {
+    ThreadPool::Scope scope(width);
+    Rng rng(41);
+    SpectralConv conv(3, 3, {4, 4}, rng);
+    const TensorF x = random_input({9, 3, 8, 8}, 43);
+    const TensorF y = conv.forward(x);
+    const TensorF dx = conv.backward(random_input(y.shape(), 44));
+    return std::tuple{dx, conv.weight().grad};
+  };
+  const auto [dx1, dw1] = grads_at(1);
+  for (const std::size_t width : {std::size_t{2}, std::size_t{4}}) {
+    const auto [dx, dw] = grads_at(width);
+    for (index_t i = 0; i < dx1.size(); ++i) ASSERT_EQ(dx[i], dx1[i]) << i;
+    for (index_t i = 0; i < dw1.size(); ++i) ASSERT_EQ(dw[i], dw1[i]) << i;
+  }
 }
 
 TEST(SpectralConv, GradcheckInput3D) {

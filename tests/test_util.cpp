@@ -180,6 +180,70 @@ TEST(ThreadPool, GlobalPoolWorks) {
   EXPECT_EQ(sum.load(), 499500);
 }
 
+TEST(ThreadPool, ScopeOverridesFreeFunctionPool) {
+  ThreadPool::Scope scope(3);
+  EXPECT_EQ(ThreadPool::current().size(), 3u);
+  std::atomic<index_t> sum{0};
+  parallel_for(0, 100, [&](index_t i) { sum.fetch_add(i); });
+  EXPECT_EQ(sum.load(), 4950);
+}
+
+TEST(ThreadPool, ScopesNestInnermostWins) {
+  ThreadPool::Scope outer(2);
+  EXPECT_EQ(ThreadPool::current().size(), 2u);
+  {
+    ThreadPool::Scope inner(4);
+    EXPECT_EQ(ThreadPool::current().size(), 4u);
+  }
+  EXPECT_EQ(ThreadPool::current().size(), 2u);
+}
+
+TEST(ThreadPool, NestedParallelForRunsSeriallyAndCompletes) {
+  ThreadPool::Scope scope(4);
+  EXPECT_FALSE(ThreadPool::in_parallel_region());
+  std::atomic<index_t> total{0};
+  parallel_for(0, 8, [&](index_t) {
+    EXPECT_TRUE(ThreadPool::in_parallel_region());
+    // The nested loop runs serially on this thread, so plain (non-atomic)
+    // accumulation is safe.
+    index_t inner_sum = 0;
+    parallel_for(0, 100, [&](index_t i) { inner_sum += i; });
+    total.fetch_add(inner_sum);
+  });
+  EXPECT_EQ(total.load(), 8 * 4950);
+  EXPECT_FALSE(ThreadPool::in_parallel_region());
+}
+
+TEST(ThreadPool, SlabPartitionIndependentOfPoolWidth) {
+  const auto boundaries = [](std::size_t width) {
+    ThreadPool::Scope scope(width);
+    std::vector<std::pair<index_t, index_t>> slabs(
+        static_cast<std::size_t>(slab_count(0, 37, 8)));
+    parallel_for_slabs(0, 37, 8, [&](index_t s, index_t b, index_t e) {
+      slabs[static_cast<std::size_t>(s)] = {b, e};
+    });
+    return slabs;
+  };
+  const auto w1 = boundaries(1);
+  const auto w4 = boundaries(4);
+  EXPECT_EQ(w1, w4);
+  // Slabs tile [0, 37) contiguously in slot order.
+  index_t cursor = 0;
+  for (const auto& [b, e] : w1) {
+    EXPECT_EQ(b, cursor);
+    EXPECT_LT(b, e);
+    cursor = e;
+  }
+  EXPECT_EQ(cursor, 37);
+}
+
+TEST(ThreadPool, SlabCountClampsToRange) {
+  EXPECT_EQ(slab_count(0, 3, 8), 3);
+  EXPECT_EQ(slab_count(0, 100, 8), 8);
+  EXPECT_EQ(slab_count(5, 5, 8), 0);
+  EXPECT_EQ(slab_count(7, 5, 8), 0);
+}
+
 TEST(Cli, ParsesKeyValueForms) {
   const char* argv[] = {"prog",   "--alpha", "1.5",   "--beta=2",
                         "--flag", "--gamma", "hello", "pos1"};
