@@ -1,0 +1,212 @@
+// Spectral hot-path microbenchmarks → BENCH_spectral.json.
+//
+// Seeds the repo's perf trajectory with ns/op measurements of the training
+// hot path: the batched 2-D real FFT, the SpectralConv forward/backward at
+// paper-shaped hyperparameters (N=64, modes=12) with mode pruning on AND
+// off (the off numbers are the full-transform baseline the speedup is
+// measured against — results are bitwise identical either way), the GEMM
+// panel kernels, and a full train step of the small FNO fixture. The
+// fft/pruned_lines_skipped and fft/lines_total counters are exported so
+// pruning coverage rides along with the timings.
+//
+// Flags (besides the shared --threads / --metrics-out):
+//   --out F            JSON output path (default BENCH_spectral.json)
+//   --min-seconds S    measurement budget per timer (default 0.15;
+//                      check_tier1.sh passes a small value for its smoke run)
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <functional>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "fft/fftnd.hpp"
+#include "fno/fno.hpp"
+#include "fno/trainer.hpp"
+#include "nn/dataloader.hpp"
+#include "nn/spectral_conv.hpp"
+#include "obs/obs.hpp"
+#include "tensor/gemm.hpp"
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace turb;
+
+double g_min_seconds = 0.15;
+
+/// Wall-time a thunk: warm up twice, then run batches until the budget is
+/// spent; returns mean ns per call.
+double time_ns(const std::function<void()>& fn) {
+  using clock = std::chrono::steady_clock;
+  fn();
+  fn();
+  std::int64_t calls = 0;
+  double elapsed = 0.0;
+  index_t batch = 1;
+  while (elapsed < g_min_seconds) {
+    const auto t0 = clock::now();
+    for (index_t i = 0; i < batch; ++i) fn();
+    elapsed += std::chrono::duration<double>(clock::now() - t0).count();
+    calls += batch;
+    batch = std::min<index_t>(batch * 2, 64);
+  }
+  return elapsed * 1e9 / static_cast<double>(calls);
+}
+
+struct Entry {
+  std::string name;
+  double ns = 0.0;
+};
+
+TensorF random_tensor(Shape shape, std::uint64_t seed) {
+  Rng rng(seed);
+  TensorF x(std::move(shape));
+  x.fill_normal(rng, 0.0, 1.0);
+  return x;
+}
+
+/// SpectralConv fwd / bwd / fwd+bwd at N=64, modes=12 — the acceptance
+/// microbench. Returns {fwd, bwd, fwdbwd} ns/op for the current pruning
+/// setting.
+std::vector<Entry> bench_spectral(const std::string& suffix) {
+  Rng rng(7);
+  nn::SpectralConv conv(8, 8, {12, 12}, rng);
+  const TensorF x = random_tensor({8, 8, 64, 64}, 11);
+  const TensorF gy = random_tensor({8, 8, 64, 64}, 12);
+  // Prime the activation cache so bwd can be timed standalone.
+  (void)conv.forward(x);
+  std::vector<Entry> out;
+  out.push_back({"spectral/fwd_" + suffix,
+                 time_ns([&] { (void)conv.forward(x); })});
+  out.push_back({"spectral/bwd_" + suffix,
+                 time_ns([&] { (void)conv.backward(gy); })});
+  out.push_back({"spectral/fwdbwd_" + suffix, time_ns([&] {
+                   (void)conv.forward(x);
+                   (void)conv.backward(gy);
+                 })});
+  return out;
+}
+
+double bench_train_step() {
+  Rng rng(123);
+  fno::FnoConfig cfg;
+  cfg.in_channels = 3;
+  cfg.out_channels = 2;
+  cfg.width = 8;
+  cfg.n_layers = 2;
+  cfg.n_modes = {8, 8};
+  cfg.lifting_channels = 16;
+  cfg.projection_channels = 16;
+  fno::Fno model(cfg, rng);
+  nn::DataLoader loader(random_tensor({8, 3, 32, 32}, 21),
+                        random_tensor({8, 2, 32, 32}, 22),
+                        /*batch_size=*/4, /*shuffle=*/false, /*seed=*/1);
+  fno::TrainConfig tc;
+  tc.epochs = 1;
+  tc.verbose = false;
+  const index_t steps_per_epoch = 2;  // 8 samples / batch 4
+  return time_ns([&] { (void)fno::train_fno(model, loader, tc); }) /
+         static_cast<double>(steps_per_epoch);
+}
+
+std::string json_number(double v, const char* fmt = "%.1f") {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), fmt, v);
+  return buf;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  apply_runtime_flags(args);
+  g_min_seconds = args.get_double("min-seconds", 0.15);
+  const std::string out_path = args.get("out", "BENCH_spectral.json");
+
+  std::vector<Entry> results;
+
+  // 1. Batched 2-D real FFT round trip at the spectral-conv working shape.
+  {
+    const TensorF x = random_tensor({8, 8, 64, 64}, 3);
+    Tensor<std::complex<float>> spec;
+    results.push_back({"fft/rfftn2d_n64", time_ns([&] {
+                         fft::rfftn_into(x, 2, spec);
+                       })});
+    TensorF back;
+    results.push_back({"fft/irfftn2d_n64", time_ns([&] {
+                         fft::irfftn_into(spec, 2, 64, back);
+                       })});
+  }
+
+  // 2. SpectralConv with full transforms (baseline), then pruned.
+  nn::SpectralConv::set_pruning(false);
+  const std::vector<Entry> full = bench_spectral("full");
+  nn::SpectralConv::set_pruning(true);
+  const std::vector<Entry> pruned = bench_spectral("pruned");
+  results.insert(results.end(), full.begin(), full.end());
+  results.insert(results.end(), pruned.begin(), pruned.end());
+  const double speedup = full.back().ns / pruned.back().ns;
+
+  // 3. GEMM panel kernels: a Linear-shaped call (rows = batch·spatial) and a
+  //    square one for raw arithmetic density.
+  {
+    const TensorF a = random_tensor({4096, 32}, 31);
+    const TensorF b = random_tensor({32, 32}, 32);
+    TensorF c({4096, 32});
+    results.push_back({"gemm/nn_4096x32x32", time_ns([&] {
+                         gemm_nn<float>(4096, 32, 32, 1.0f, a.data(), 32,
+                                        b.data(), 32, 0.0f, c.data(), 32);
+                       })});
+    const TensorF sa = random_tensor({192, 192}, 33);
+    const TensorF sb = random_tensor({192, 192}, 34);
+    TensorF sc({192, 192});
+    results.push_back({"gemm/nn_192cubed", time_ns([&] {
+                         gemm_nn<float>(192, 192, 192, 1.0f, sa.data(), 192,
+                                        sb.data(), 192, 0.0f, sc.data(), 192);
+                       })});
+  }
+
+  // 4. Full train step of the small FNO fixture.
+  results.push_back({"train/step_fixture", bench_train_step()});
+
+  const std::int64_t skipped =
+      obs::counter("fft/pruned_lines_skipped").value();
+  const std::int64_t total = obs::counter("fft/lines_total").value();
+
+  // Human-readable summary.
+  std::cout << "# bench_perf_train (min-seconds " << g_min_seconds << ")\n";
+  for (const Entry& e : results) {
+    std::printf("%-28s %14.1f ns/op\n", e.name.c_str(), e.ns);
+  }
+  std::printf("%-28s %14.2fx\n", "spectral fwd+bwd speedup", speedup);
+  std::printf("%-28s %14lld / %lld\n", "pruned lines skipped",
+              static_cast<long long>(skipped), static_cast<long long>(total));
+
+  // JSON trajectory record.
+  std::ofstream out(out_path);
+  if (!out.good()) {
+    std::cerr << "bench_perf_train: cannot write " << out_path << "\n";
+    return 1;
+  }
+  out << "{\n  \"version\": 1,\n  \"bench\": \"bench_perf_train\",\n";
+  out << "  \"results_ns_per_op\": {\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    out << "    \"" << results[i].name << "\": " << json_number(results[i].ns)
+        << (i + 1 < results.size() ? ",\n" : "\n");
+  }
+  out << "  },\n";
+  out << "  \"speedup\": { \"spectral_fwdbwd_pruned_vs_full\": "
+      << json_number(speedup, "%.3f") << " },\n";
+  out << "  \"counters\": {\n";
+  out << "    \"fft/pruned_lines_skipped\": " << skipped << ",\n";
+  out << "    \"fft/lines_total\": " << total << "\n";
+  out << "  }\n}\n";
+  out.close();
+  std::cout << "wrote " << out_path << "\n";
+  return 0;
+}

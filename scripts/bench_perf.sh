@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Spectral perf trajectory: build and run bench_perf_train, leaving
+# BENCH_spectral.json at the repo root (override with BENCH_OUT).
+#
+# The bench times the batched 2-D FFT, SpectralConv fwd/bwd with mode
+# pruning on and off (full-transform baseline), the GEMM panel kernels, and
+# a full fixture train step, and records the fft/pruned_lines_skipped /
+# fft/lines_total coverage counters.
+#
+# Usage: scripts/bench_perf.sh [build-dir]   (default: build)
+#   BENCH_OUT=path           output JSON (default: BENCH_spectral.json)
+#   TURBFNO_BENCH_ARGS=...   extra flags for bench_perf_train
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+OUT="${BENCH_OUT:-BENCH_spectral.json}"
+
+cmake -B "$BUILD_DIR" -S . > /dev/null
+cmake --build "$BUILD_DIR" -j --target bench_perf_train > /dev/null
+
+# shellcheck disable=SC2086  # intentional word splitting of extra args
+"$BUILD_DIR/bench/bench_perf_train" --out "$OUT" ${TURBFNO_BENCH_ARGS:-}
+
+python3 - "$OUT" <<'EOF'
+import json, sys
+d = json.load(open(sys.argv[1]))
+assert d["version"] == 1, "unexpected schema version"
+s = d["speedup"]["spectral_fwdbwd_pruned_vs_full"]
+skipped = d["counters"]["fft/pruned_lines_skipped"]
+total = d["counters"]["fft/lines_total"]
+print(f"bench_perf: spectral fwd+bwd pruned-vs-full speedup {s:.2f}x, "
+      f"pruning coverage {skipped}/{total} lines "
+      f"({100.0 * skipped / max(total, 1):.1f}%)")
+EOF
+echo "bench_perf: OK ($OUT)"

@@ -8,7 +8,12 @@
 #     runs' dumps are diffed byte-for-byte, extending the thread-count
 #     determinism contract across processes and pool widths.
 #  2. One bench with --metrics-out, asserting the exported JSON contains the
-#     fft/*, nn/*, and train/* spans.
+#     fft/*, nn/*, and train/* spans plus the mode-pruning coverage counters.
+#  3. A perf-harness smoke: bench_perf_train at a tiny measurement budget,
+#     asserting it produces a well-formed BENCH_spectral.json (the recorded
+#     numbers are non-gating; only the schema is checked here).
+#  4. Optionally (TURBFNO_TIER1_SANITIZE=1), an AddressSanitizer + UBSan
+#     build of the test suite in a sibling build dir, with ctest run once.
 #
 # Usage: scripts/check_tier1.sh [build-dir]   (default: build)
 set -euo pipefail
@@ -52,7 +57,8 @@ rm -f "$METRICS"
 TURBFNO_SCALE=ci "$BUILD_DIR/bench/bench_fig5_channels" \
     --metrics-out "$METRICS" > /dev/null
 
-for span in '"fft/r2c"' '"nn/linear_fwd"' '"train/forward"'; do
+for span in '"fft/r2c"' '"nn/linear_fwd"' '"train/forward"' \
+            '"fft/pruned_lines_skipped"' '"fft/lines_total"'; do
   grep -q "$span" "$METRICS" || {
     echo "check_tier1: span $span missing from $METRICS" >&2
     exit 1
@@ -60,4 +66,30 @@ for span in '"fft/r2c"' '"nn/linear_fwd"' '"train/forward"'; do
 done
 python3 -c "import json,sys; json.load(open(sys.argv[1]))" "$METRICS"
 
-echo "check_tier1: OK (tests passed at 1 and 4 threads, determinism dumps identical, metrics JSON valid: $METRICS)"
+# Perf-harness smoke: tiny budget, schema-only assertions (numbers are the
+# job of scripts/bench_perf.sh and are not gated here).
+PERF_JSON="$BUILD_DIR/check_tier1_bench_spectral.json"
+rm -f "$PERF_JSON"
+"$BUILD_DIR/bench/bench_perf_train" --min-seconds 0.01 --out "$PERF_JSON" \
+    > /dev/null
+python3 - "$PERF_JSON" <<'EOF'
+import json, sys
+d = json.load(open(sys.argv[1]))
+assert d["version"] == 1, "unexpected BENCH_spectral schema version"
+assert "spectral/fwdbwd_pruned" in d["results_ns_per_op"], \
+    "spectral/fwdbwd_pruned timing missing"
+assert "spectral_fwdbwd_pruned_vs_full" in d["speedup"], "speedup missing"
+assert "fft/pruned_lines_skipped" in d["counters"], "pruning counter missing"
+assert "fft/lines_total" in d["counters"], "lines_total counter missing"
+EOF
+
+if [[ "${TURBFNO_TIER1_SANITIZE:-0}" == "1" ]]; then
+  ASAN_DIR="$BUILD_DIR-asan"
+  cmake -B "$ASAN_DIR" -S . -DTURBFNO_SANITIZE=ON -DTURBFNO_BUILD_BENCH=OFF \
+      -DTURBFNO_BUILD_EXAMPLES=OFF
+  cmake --build "$ASAN_DIR" -j
+  TURBFNO_THREADS=2 ctest --test-dir "$ASAN_DIR" --output-on-failure \
+      -j "$(nproc)"
+fi
+
+echo "check_tier1: OK (tests passed at 1 and 4 threads, determinism dumps identical, metrics JSON valid: $METRICS, perf smoke JSON valid: $PERF_JSON)"

@@ -8,12 +8,23 @@ namespace turb::fft {
 template class PlanC2C<float>;
 template class PlanC2C<double>;
 
-template Tensor<std::complex<float>> rfftn<float>(const Tensor<float>&, int);
-template Tensor<std::complex<double>> rfftn<double>(const Tensor<double>&,
-                                                    int);
+template Tensor<std::complex<float>> rfftn<float>(const Tensor<float>&, int,
+                                                  const ModeMask*);
+template Tensor<std::complex<double>> rfftn<double>(const Tensor<double>&, int,
+                                                    const ModeMask*);
 template Tensor<float> irfftn<float>(const Tensor<std::complex<float>>&, int,
-                                     index_t);
+                                     index_t, const ModeMask*);
 template Tensor<double> irfftn<double>(const Tensor<std::complex<double>>&,
-                                       int, index_t);
+                                       int, index_t, const ModeMask*);
+
+template void rfftn_into<float>(const Tensor<float>&, int,
+                                Tensor<std::complex<float>>&, const ModeMask*);
+template void rfftn_into<double>(const Tensor<double>&, int,
+                                 Tensor<std::complex<double>>&,
+                                 const ModeMask*);
+template void irfftn_into<float>(const Tensor<std::complex<float>>&, int,
+                                 index_t, Tensor<float>&, const ModeMask*);
+template void irfftn_into<double>(const Tensor<std::complex<double>>&, int,
+                                  index_t, Tensor<double>&, const ModeMask*);
 
 }  // namespace turb::fft

@@ -10,12 +10,12 @@
 
 namespace turb::fft {
 
-/// Return a cached plan for length n (thread-safe; plans are immutable after
-/// construction and live for the process lifetime). Plan construction (twiddle
-/// tables, Bluestein scratch) is timed separately from execution so profiles
-/// can distinguish one-off setup cost from the per-transform work.
+namespace detail {
+
+/// Locked map lookup behind the thread-local memo in plan(). Kept out of
+/// line so the fast path inlined into the row kernels stays two compares.
 template <typename T>
-const PlanC2C<T>& plan(index_t n) {
+[[gnu::noinline]] const PlanC2C<T>& plan_locked(index_t n) {
   static std::map<index_t, std::unique_ptr<PlanC2C<T>>> cache;
   static std::mutex mutex;
   static obs::Counter& hits = obs::counter("fft/plan_cache_hits");
@@ -30,6 +30,29 @@ const PlanC2C<T>& plan(index_t n) {
     hits.add(1);
   }
   return *it->second;
+}
+
+}  // namespace detail
+
+/// Return a cached plan for length n (thread-safe; plans are immutable after
+/// construction and live for the process lifetime). Plan construction (twiddle
+/// tables, Bluestein scratch) is timed separately from execution so profiles
+/// can distinguish one-off setup cost from the per-transform work.
+///
+/// A per-thread memo of the most recent length short-circuits the mutex +
+/// map walk: the row loops of rfftn/irfftn request the same length millions
+/// of times in a row, and the lock was showing up in profiles. The
+/// fft/plan_cache_hits counter therefore only counts lookups that fall
+/// through the memo (length changes), not every call.
+template <typename T>
+const PlanC2C<T>& plan(index_t n) {
+  thread_local index_t memo_n = -1;
+  thread_local const PlanC2C<T>* memo = nullptr;
+  if (n != memo_n) {
+    memo = &detail::plan_locked<T>(n);
+    memo_n = n;
+  }
+  return *memo;
 }
 
 }  // namespace turb::fft

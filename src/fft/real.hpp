@@ -7,6 +7,7 @@
 #pragma once
 
 #include <complex>
+#include <cstdint>
 #include <vector>
 
 #include "fft/plan_cache.hpp"
@@ -15,8 +16,15 @@
 namespace turb::fft {
 
 /// Forward real-to-complex DFT. `out` must hold n/2+1 elements.
+///
+/// `keep_bins` (optional, length n/2+1) marks which output bins the caller
+/// will read; unmarked bins are skipped — their slots are left untouched.
+/// Each bin's unpack is an independent function of the shared half-length
+/// complex FFT, so skipping a bin cannot perturb any other bin and the kept
+/// bins stay bitwise identical to the unmasked transform.
 template <typename T>
-void rfft(const T* in, std::complex<T>* out, index_t n) {
+void rfft(const T* in, std::complex<T>* out, index_t n,
+          const std::uint8_t* keep_bins = nullptr) {
   using cpx = std::complex<T>;
   TURB_CHECK_MSG(n >= 2 && n % 2 == 0, "rfft length must be even, got " << n);
   const index_t h = n / 2;
@@ -28,6 +36,7 @@ void rfft(const T* in, std::complex<T>* out, index_t n) {
   plan<T>(h).forward(z.data());
 
   for (index_t k = 0; k <= h; ++k) {
+    if (keep_bins != nullptr && keep_bins[k] == 0) continue;
     const cpx zk = z[static_cast<std::size_t>(k % h)];
     const cpx zc = std::conj(z[static_cast<std::size_t>((h - k) % h)]);
     const cpx e = (zk + zc) * T{0.5};

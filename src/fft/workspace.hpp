@@ -1,0 +1,58 @@
+// Reusable transform scratch buffers, keyed by call-site slot name.
+//
+// The FFT entry points (and their SpectralConv callers) run once per layer
+// per training step; allocating the spectrum tensors fresh on every call put
+// the allocator on the hot path. workspace() hands out a thread-local tensor
+// per (element type, slot) pair that persists across calls: a repeat request
+// with the same shape returns the same buffer (contents left from the
+// previous use), a request with a different shape but equal element count
+// reshapes in place without touching the storage, and only a genuine size
+// change reallocates.
+//
+// Buffers are thread_local, so workers that end up running a transform
+// serially inside a parallel region get private scratch with no locking;
+// the cost is at most one buffer set per thread that calls in.
+#pragma once
+
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "obs/obs.hpp"
+#include "tensor/tensor.hpp"
+
+namespace turb::fft {
+
+/// Thread-local scratch tensor for `slot`, shaped `shape`. The reference is
+/// valid until the same (type, slot) pair is requested with a different
+/// element count on the same thread. Contents are unspecified on a fresh
+/// allocation (zero-initialised) and carried over on reuse — callers that
+/// need zeros must clear explicitly.
+template <typename T>
+Tensor<T>& workspace(std::string_view slot, const Shape& shape) {
+  thread_local std::map<std::string, Tensor<T>, std::less<>> cache;
+  static obs::Counter& hits = obs::counter("fft/workspace_hits");
+  static obs::Counter& misses = obs::counter("fft/workspace_misses");
+  auto it = cache.find(slot);
+  if (it == cache.end()) {
+    misses.add(1);
+    it = cache.emplace(std::string(slot), Tensor<T>(shape)).first;
+    return it->second;
+  }
+  Tensor<T>& t = it->second;
+  if (t.shape() == shape) {
+    hits.add(1);
+    return t;
+  }
+  if (numel(shape) == t.size()) {
+    // Same element count: rebind the shape, keep the storage.
+    hits.add(1);
+    t.reshape(shape);
+    return t;
+  }
+  misses.add(1);
+  t = Tensor<T>(shape);
+  return t;
+}
+
+}  // namespace turb::fft

@@ -20,7 +20,15 @@ Shape weight_shape(index_t in_ch, index_t out_ch,
   return s;
 }
 
+/// Process-wide pruning switch (results are bitwise independent of it, so a
+/// plain global — no synchronisation needed beyond what callers already do).
+bool g_prune_transforms = true;
+
 }  // namespace
+
+void SpectralConv::set_pruning(bool on) { g_prune_transforms = on; }
+
+bool SpectralConv::pruning() { return g_prune_transforms; }
 
 SpectralConv::SpectralConv(index_t in_channels, index_t out_channels,
                            std::vector<index_t> n_modes, Rng& rng,
@@ -103,6 +111,31 @@ void SpectralConv::build_mode_map(const Shape& spatial) {
       k[d] = 0;
     }
   }
+
+  // Per-axis kept-coordinate flags for the pruned transforms: the same
+  // corner-of-modes pattern as the offsets above (half positive / half
+  // negative frequencies on c2c axes, leading non-negative bins on the rfft
+  // axis).
+  mode_mask_.assign(rank, {});
+  for (std::size_t d = 0; d < rank; ++d) {
+    if (d + 1 < rank) {
+      std::vector<std::uint8_t> keep(static_cast<std::size_t>(spatial[d]), 0);
+      const index_t half = n_modes_[d] / 2;
+      for (index_t s = 0; s < half; ++s) keep[static_cast<std::size_t>(s)] = 1;
+      for (index_t s = spatial[d] - half; s < spatial[d]; ++s) {
+        keep[static_cast<std::size_t>(s)] = 1;
+      }
+      mode_mask_[d] = std::move(keep);
+    } else {
+      std::vector<std::uint8_t> keep(
+          static_cast<std::size_t>(spec.back()), 0);
+      for (index_t s = 0; s < n_modes_.back() / 2 + 1; ++s) {
+        keep[static_cast<std::size_t>(s)] = 1;
+      }
+      mode_mask_[d] = std::move(keep);
+    }
+  }
+
   mapped_spatial_ = spatial;
 }
 
@@ -117,16 +150,21 @@ TensorF SpectralConv::forward(const TensorF& x) {
   in_shape_ = x.shape();
 
   const index_t batch = x.dim(0);
-  x_spec_ = fft::rfftn(x, static_cast<int>(rank));
+  // Pruned transform into the member workspace: only kept-mode coordinates
+  // of x_spec_ are valid, which is all the contraction below (and the dW
+  // accumulation in backward) ever reads.
+  fft::rfftn_into(x, static_cast<int>(rank), x_spec_, prune_mask());
 
   Shape yspec_shape = x_spec_.shape();
   yspec_shape[1] = out_channels_;
-  Tensor<cpxf> y_spec(yspec_shape);  // zero-initialised
+  // Zero-initialised on (re)allocation; on reuse every kept offset is
+  // overwritten below and the rest stays zero.
+  if (y_spec_.shape() != yspec_shape) y_spec_ = Tensor<cpxf>(yspec_shape);
 
   const index_t K = kept_modes_;
   const float* w = weight_.value.data();
   const cpxf* xs = x_spec_.data();
-  cpxf* ys = y_spec.data();
+  cpxf* ys = y_spec_.data();
   const index_t ci = in_channels_, co = out_channels_;
 
   parallel_for(0, batch, [&](index_t n) {
@@ -148,7 +186,8 @@ TensorF SpectralConv::forward(const TensorF& x) {
     }
   });
 
-  return fft::irfftn(y_spec, static_cast<int>(rank), spatial.back());
+  return fft::irfftn(y_spec_, static_cast<int>(rank), spatial.back(),
+                     prune_mask());
 }
 
 TensorF SpectralConv::backward(const TensorF& grad_out) {
@@ -160,18 +199,21 @@ TensorF SpectralConv::backward(const TensorF& grad_out) {
   const index_t ci = in_channels_, co = out_channels_;
   const index_t K = kept_modes_;
 
-  // dŶ = rfftn(dy) ⊙ w / M (kept modes only are consumed below).
-  Tensor<cpxf> g_spec = fft::rfftn(grad_out, static_cast<int>(rank));
+  // dŶ = rfftn(dy) ⊙ w / M (kept modes only are consumed below, so the
+  // transform is pruned like the forward one).
+  fft::rfftn_into(grad_out, static_cast<int>(rank), g_spec_, prune_mask());
   const float inv_m = static_cast<float>(1.0 / norm_m_);
 
-  // dX̂ (kept modes only, zero elsewhere).
-  Shape xspec_shape = x_spec_.shape();
-  Tensor<cpxf> dx_spec(xspec_shape);
+  // dX̂ (kept modes only, zero elsewhere — zeroed on allocation, kept
+  // offsets fully overwritten on reuse).
+  if (dx_spec_.shape() != x_spec_.shape()) {
+    dx_spec_ = Tensor<cpxf>(x_spec_.shape());
+  }
 
   const float* w = weight_.value.data();
-  const cpxf* gs = g_spec.data();
+  const cpxf* gs = g_spec_.data();
   const cpxf* xs = x_spec_.data();
-  cpxf* dxs = dx_spec.data();
+  cpxf* dxs = dx_spec_.data();
 
   // dX̂[n,i] = Σ_o conj(W[i,o]) · dŶ[n,o]  — parallel over batch.
   parallel_for(0, batch, [&](index_t n) {
@@ -205,7 +247,10 @@ TensorF SpectralConv::backward(const TensorF& grad_out) {
   // count; atomics on the float accumulators would not be.
   const index_t wsize = ci * co * K * 2;
   const index_t slabs = slab_count(0, batch, kGradSlabs);
-  std::vector<float> scratch(static_cast<std::size_t>(slabs * wsize), 0.0f);
+  // assign() zeroes the accumulators while reusing the capacity from the
+  // previous step.
+  grad_scratch_.assign(static_cast<std::size_t>(slabs * wsize), 0.0f);
+  std::vector<float>& scratch = grad_scratch_;
   parallel_for_slabs(0, batch, kGradSlabs,
                      [&](index_t slot, index_t nb, index_t ne) {
     float* acc = scratch.data() + slot * wsize;
@@ -253,7 +298,8 @@ TensorF SpectralConv::backward(const TensorF& grad_out) {
   // plain irfftn on the unscaled product.
   Shape spatial(in_shape_.begin() + 2, in_shape_.end());
   (void)spatial;
-  TensorF dx = fft::irfftn(dx_spec, static_cast<int>(rank), in_shape_.back());
+  TensorF dx = fft::irfftn(dx_spec_, static_cast<int>(rank), in_shape_.back(),
+                           prune_mask());
   return dx;
 }
 

@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "fft/fftnd.hpp"
 #include "nn/module.hpp"
 #include "util/rng.hpp"
 
@@ -32,6 +33,14 @@ class SpectralConv : public Module {
   SpectralConv(index_t in_channels, index_t out_channels,
                std::vector<index_t> n_modes, Rng& rng,
                std::string name = "spectral_conv");
+
+  /// Globally enable/disable mode-pruned FFTs (default on). The results are
+  /// bitwise identical either way — pruning only skips transform lines whose
+  /// outputs are never read (forward) or whose inputs are exactly zero
+  /// (inverse) — so this switch exists for baseline measurements
+  /// (bench_perf_train times both settings).
+  static void set_pruning(bool on);
+  [[nodiscard]] static bool pruning();
 
   TensorF forward(const TensorF& x) override;
   TensorF backward(const TensorF& grad_out) override;
@@ -61,6 +70,11 @@ class SpectralConv : public Module {
   std::string name_;
   Parameter weight_;
 
+  /// Mask to pass to the fft entry points (nullptr when pruning is off).
+  [[nodiscard]] const fft::ModeMask* prune_mask() const {
+    return pruning() ? &mode_mask_ : nullptr;
+  }
+
   // Mode map state (rebuilt when the spatial shape changes — FNO is
   // resolution-agnostic, so the same weights serve any grid ≥ the modes).
   Shape mapped_spatial_;
@@ -68,10 +82,19 @@ class SpectralConv : public Module {
   std::vector<float> bin_weight_;      // per kept mode: 1 or 2 (rfft edge/interior)
   index_t spec_slab_ = 0;              // spectrum elements per (n, c) slab
   double norm_m_ = 1.0;                // ∏ spatial extents
+  fft::ModeMask mode_mask_;            // per-axis kept-coordinate flags
 
-  // Cached activations.
+  // Cached activations and reused spectrum workspaces. y_spec_ / dx_spec_
+  // rely on an invariant: they are zero-initialised on (re)allocation and
+  // only ever written at kept-mode offsets, which the contraction loops
+  // fully overwrite on every call — so the zeros outside the kept set never
+  // need refreshing.
   Shape in_shape_;
-  Tensor<cpxf> x_spec_;  // rfftn(x), kept for dW
+  Tensor<cpxf> x_spec_;   // rfftn(x), kept for dW
+  Tensor<cpxf> y_spec_;   // forward output spectrum
+  Tensor<cpxf> g_spec_;   // backward: rfftn(grad_out)
+  Tensor<cpxf> dx_spec_;  // backward: dX̂
+  std::vector<float> grad_scratch_;  // per-slab dW partials
 };
 
 }  // namespace turb::nn

@@ -1,8 +1,8 @@
 // Small dense matrix multiply kernels (row-major).
 //
 // The nn Linear layers (channel-wise 1×1 convolutions) reduce to GEMMs with
-// modest inner dimensions (channel counts 1–256), so a cache-aware loop
-// ordering that the compiler can autovectorise is sufficient; there is no
+// modest inner dimensions (channel counts 1–256), so cache-aware loop
+// orderings the compiler can autovectorise are sufficient; there is no
 // external BLAS dependency.
 //
 //   gemm_nn : C = alpha * A   * B   + beta * C   A: m×k, B: k×n, C: m×n
@@ -11,6 +11,15 @@
 //
 // The transposed variants are exactly the shapes needed by the backward
 // passes (dX = Wᵀ·dY, dW = dY·Xᵀ).
+//
+// gemm_nn/gemm_tn use a register-tiled panel kernel: each C row is produced
+// in j-blocks of kPanel accumulators that live in registers across the whole
+// k loop (one load + one store per C element instead of one load/store per
+// k step). The k loop is unrolled by two with a single accumulator per
+// element, so every C element still sees the multiply-adds in ascending-k
+// order — the tiling changes instruction scheduling, not the rounding
+// sequence, which keeps results bitwise identical to the scalar kernel and
+// preserves the thread-count determinism contract.
 #pragma once
 
 #include "obs/obs.hpp"
@@ -35,6 +44,11 @@ inline void count_gemm(index_t m, index_t n, index_t k) {
 /// pool (below this the dispatch overhead dominates the arithmetic).
 inline constexpr index_t kParallelGemmFlops = index_t{1} << 15;
 
+/// Register-tile width of the panel kernels: 8 floats fill one 256-bit
+/// vector (two for doubles), small enough that the accumulators plus the
+/// broadcast A value stay in registers on any x86-64 / aarch64 target.
+inline constexpr index_t kPanel = 8;
+
 /// Run body(row_begin, row_end) over [0, m), row-tiled on the pool when the
 /// call is large enough and not already inside a parallel region (nested
 /// calls — e.g. the per-sample GEMMs of a batch-parallel layer — run
@@ -51,6 +65,59 @@ inline void gemm_rows(index_t m, index_t n, index_t k, const Body& body) {
   }
 }
 
+/// One row of C updated as c[j] (+)= alpha * Σ_p a_of_p(p) * b[p*ldb + j],
+/// j-blocked into kPanel-wide register tiles. `a_of_p` abstracts the A
+/// access pattern (contiguous row for gemm_nn, strided column for gemm_tn).
+template <typename T, typename AOf>
+inline void gemm_row_panels(index_t n, index_t k, T alpha, const AOf& a_of_p,
+                            const T* b, index_t ldb, T beta, T* ci) {
+  index_t j0 = 0;
+  for (; j0 + kPanel <= n; j0 += kPanel) {
+    T acc[kPanel];
+    if (beta == T{0}) {
+      for (index_t r = 0; r < kPanel; ++r) acc[r] = T{0};
+    } else if (beta == T{1}) {
+      for (index_t r = 0; r < kPanel; ++r) acc[r] = ci[j0 + r];
+    } else {
+      for (index_t r = 0; r < kPanel; ++r) acc[r] = beta * ci[j0 + r];
+    }
+    index_t p = 0;
+    for (; p + 2 <= k; p += 2) {
+      const T a0 = alpha * a_of_p(p);
+      const T a1 = alpha * a_of_p(p + 1);
+      const T* b0 = b + p * ldb + j0;
+      const T* b1 = b0 + ldb;
+      for (index_t r = 0; r < kPanel; ++r) {
+        // Two sequential adds per accumulator — ascending-k order, exactly
+        // the rounding sequence of the unblocked loop.
+        acc[r] += a0 * b0[r];
+        acc[r] += a1 * b1[r];
+      }
+    }
+    for (; p < k; ++p) {
+      const T aip = alpha * a_of_p(p);
+      const T* bp = b + p * ldb + j0;
+      for (index_t r = 0; r < kPanel; ++r) acc[r] += aip * bp[r];
+    }
+    for (index_t r = 0; r < kPanel; ++r) ci[j0 + r] = acc[r];
+  }
+  if (j0 < n) {
+    // Tail columns: the original in-memory kernel (same per-element order).
+    const index_t tail = n - j0;
+    T* ct = ci + j0;
+    if (beta == T{0}) {
+      for (index_t j = 0; j < tail; ++j) ct[j] = T{0};
+    } else if (beta != T{1}) {
+      for (index_t j = 0; j < tail; ++j) ct[j] *= beta;
+    }
+    for (index_t p = 0; p < k; ++p) {
+      const T aip = alpha * a_of_p(p);
+      const T* bp = b + p * ldb + j0;
+      for (index_t j = 0; j < tail; ++j) ct[j] += aip * bp[j];
+    }
+  }
+}
+
 }  // namespace detail
 
 template <typename T>
@@ -59,20 +126,10 @@ void gemm_nn(index_t m, index_t n, index_t k, T alpha, const T* a, index_t lda,
   detail::count_gemm(m, n, k);
   detail::gemm_rows(m, n, k, [=](index_t i0, index_t i1) {
     for (index_t i = i0; i < i1; ++i) {
-      T* ci = c + i * ldc;
-      if (beta == T{0}) {
-        for (index_t j = 0; j < n; ++j) ci[j] = T{0};
-      } else if (beta != T{1}) {
-        for (index_t j = 0; j < n; ++j) ci[j] *= beta;
-      }
       const T* ai = a + i * lda;
-      for (index_t p = 0; p < k; ++p) {
-        const T aip = alpha * ai[p];
-        const T* bp = b + p * ldb;
-        for (index_t j = 0; j < n; ++j) {
-          ci[j] += aip * bp[j];
-        }
-      }
+      detail::gemm_row_panels(
+          n, k, alpha, [ai](index_t p) { return ai[p]; }, b, ldb, beta,
+          c + i * ldc);
     }
   });
 }
@@ -83,19 +140,9 @@ void gemm_tn(index_t m, index_t n, index_t k, T alpha, const T* a, index_t lda,
   detail::count_gemm(m, n, k);
   detail::gemm_rows(m, n, k, [=](index_t i0, index_t i1) {
     for (index_t i = i0; i < i1; ++i) {
-      T* ci = c + i * ldc;
-      if (beta == T{0}) {
-        for (index_t j = 0; j < n; ++j) ci[j] = T{0};
-      } else if (beta != T{1}) {
-        for (index_t j = 0; j < n; ++j) ci[j] *= beta;
-      }
-      for (index_t p = 0; p < k; ++p) {
-        const T aip = alpha * a[p * lda + i];  // Aᵀ[i,p]
-        const T* bp = b + p * ldb;
-        for (index_t j = 0; j < n; ++j) {
-          ci[j] += aip * bp[j];
-        }
-      }
+      detail::gemm_row_panels(
+          n, k, alpha, [a, lda, i](index_t p) { return a[p * lda + i]; }, b,
+          ldb, beta, c + i * ldc);
     }
   });
 }
@@ -108,13 +155,22 @@ void gemm_nt(index_t m, index_t n, index_t k, T alpha, const T* a, index_t lda,
     for (index_t i = i0; i < i1; ++i) {
       const T* ai = a + i * lda;
       T* ci = c + i * ldc;
-      for (index_t j = 0; j < n; ++j) {
-        const T* bj = b + j * ldb;
-        T acc{};
-        for (index_t p = 0; p < k; ++p) {
-          acc += ai[p] * bj[p];
+      // The beta test is hoisted out of the element loop (it used to run
+      // once per C element).
+      if (beta == T{0}) {
+        for (index_t j = 0; j < n; ++j) {
+          const T* bj = b + j * ldb;
+          T acc{};
+          for (index_t p = 0; p < k; ++p) acc += ai[p] * bj[p];
+          ci[j] = alpha * acc;
         }
-        ci[j] = alpha * acc + (beta == T{0} ? T{0} : beta * ci[j]);
+      } else {
+        for (index_t j = 0; j < n; ++j) {
+          const T* bj = b + j * ldb;
+          T acc{};
+          for (index_t p = 0; p < k; ++p) acc += ai[p] * bj[p];
+          ci[j] = alpha * acc + beta * ci[j];
+        }
       }
     }
   });

@@ -1,13 +1,16 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <complex>
+#include <cstdint>
 #include <numbers>
 #include <vector>
 
 #include "fft/fftnd.hpp"
 #include "fft/plan.hpp"
 #include "fft/real.hpp"
+#include "fft/workspace.hpp"
 #include "tensor/tensor.hpp"
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
@@ -435,6 +438,202 @@ TEST(FftProperties, SpectraBitwiseIdenticalAcrossThreadCounts) {
       ASSERT_EQ(spec[i].imag(), ref[i].imag()) << "width " << width;
     }
   }
+}
+
+// --- mode-pruned transforms --------------------------------------------------
+//
+// The FNO keeps the low-|k| corners of the spectrum: on c2c axes the kept
+// coordinates are [0, m/2) ∪ [S - m/2, S), on the rfft axis [0, m/2 + 1).
+// Pruned rfftn must be bitwise identical to the full transform at every kept
+// coordinate; pruned irfftn of a spectrum that is zero outside the kept set
+// must be bitwise identical everywhere.
+
+/// Kept-coordinate flags for one axis in the FNO corner pattern.
+std::vector<std::uint8_t> corner_keep(index_t extent, index_t n_modes,
+                                      bool rfft_axis) {
+  std::vector<std::uint8_t> keep(static_cast<std::size_t>(extent), 0);
+  const index_t half = n_modes / 2;
+  if (rfft_axis) {
+    for (index_t s = 0; s < std::min(extent, half + 1); ++s) {
+      keep[static_cast<std::size_t>(s)] = 1;
+    }
+  } else {
+    for (index_t s = 0; s < extent; ++s) {
+      if (s < half || s >= extent - half) keep[static_cast<std::size_t>(s)] = 1;
+    }
+  }
+  return keep;
+}
+
+/// FNO corner mask over the trailing `ndim` axes of a spatial shape, keeping
+/// `n_modes[d]` modes per axis.
+fft::ModeMask corner_mask(const Shape& spatial_shape, std::size_t ndim,
+                          const std::vector<index_t>& n_modes) {
+  const std::size_t rank = spatial_shape.size();
+  fft::ModeMask mask(ndim);
+  for (std::size_t d = 0; d < ndim; ++d) {
+    const index_t extent = spatial_shape[rank - ndim + d];
+    const bool last = (d == ndim - 1);
+    mask[d] = corner_keep(last ? extent / 2 + 1 : extent, n_modes[d], last);
+  }
+  return mask;
+}
+
+/// True when the spectrum coordinate (over the trailing ndim axes of `spec`)
+/// is kept by every axis of the mask.
+bool coord_kept(const fft::ModeMask& mask, const Shape& spec_shape,
+                std::size_t ndim, index_t flat) {
+  const std::size_t rank = spec_shape.size();
+  for (std::size_t d = ndim; d-- > 0;) {
+    const index_t extent = spec_shape[rank - ndim + d];
+    const index_t coord = flat % extent;
+    flat /= extent;
+    if (!mask[d].empty() && mask[d][static_cast<std::size_t>(coord)] == 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+struct PrunedCase {
+  Shape shape;
+  std::size_t ndim;
+  std::vector<index_t> n_modes;
+};
+
+/// Shapes cover radix-2 lines ({16,16}), Bluestein c2c (12) over Bluestein
+/// rfft (10), odd Bluestein 15 on the c2c axis (15 cannot be an rfft axis —
+/// the last axis must be even), and a 3-D transform masked on all three axes.
+const PrunedCase kPrunedCases[] = {
+    {{3, 2, 16, 16}, 2, {6, 6}},
+    {{3, 2, 12, 10}, 2, {6, 4}},
+    {{2, 1, 15, 16}, 2, {7, 6}},
+    {{2, 1, 10, 12, 16}, 3, {4, 6, 8}},
+};
+
+TEST(FftPruned, RfftnBitwiseIdenticalAtKeptCoords) {
+  for (const PrunedCase& pc : kPrunedCases) {
+    Rng rng(700 + pc.shape.back());
+    TensorD x(pc.shape);
+    x.fill_normal(rng, 0.0, 1.0);
+    const fft::ModeMask mask = corner_mask(pc.shape, pc.ndim, pc.n_modes);
+    const auto full = rfftn(x, static_cast<int>(pc.ndim));
+    const index_t spec_block = [&] {
+      index_t b = 1;
+      for (std::size_t d = 0; d < pc.ndim; ++d) {
+        b *= full.shape()[full.rank() - pc.ndim + d];
+      }
+      return b;
+    }();
+    for (const std::size_t width : kWidths) {
+      ThreadPool::Scope scope(width);
+      const auto pruned = rfftn(x, static_cast<int>(pc.ndim), &mask);
+      ASSERT_EQ(pruned.shape(), full.shape());
+      index_t kept = 0;
+      for (index_t i = 0; i < full.size(); ++i) {
+        if (!coord_kept(mask, full.shape(), pc.ndim, i % spec_block)) continue;
+        ++kept;
+        ASSERT_EQ(pruned[i].real(), full[i].real())
+            << "width " << width << " i " << i;
+        ASSERT_EQ(pruned[i].imag(), full[i].imag())
+            << "width " << width << " i " << i;
+      }
+      ASSERT_GT(kept, 0);
+      ASSERT_LT(kept, full.size());  // the mask must actually prune something
+    }
+  }
+}
+
+TEST(FftPruned, IrfftnBitwiseIdenticalOnCornerSpectrum) {
+  for (const PrunedCase& pc : kPrunedCases) {
+    Rng rng(800 + pc.shape.back());
+    TensorD x(pc.shape);
+    x.fill_normal(rng, 0.0, 1.0);
+    const fft::ModeMask mask = corner_mask(pc.shape, pc.ndim, pc.n_modes);
+    // Build a corner spectrum: full forward transform, then zero every
+    // coordinate outside the kept set (the caller contract for pruned
+    // irfftn).
+    auto spec = rfftn(x, static_cast<int>(pc.ndim));
+    index_t spec_block = 1;
+    for (std::size_t d = 0; d < pc.ndim; ++d) {
+      spec_block *= spec.shape()[spec.rank() - pc.ndim + d];
+    }
+    for (index_t i = 0; i < spec.size(); ++i) {
+      if (!coord_kept(mask, spec.shape(), pc.ndim, i % spec_block)) {
+        spec[i] = {};
+      }
+    }
+    const index_t n_last = pc.shape.back();
+    const TensorD full = irfftn(spec, static_cast<int>(pc.ndim), n_last);
+    for (const std::size_t width : kWidths) {
+      ThreadPool::Scope scope(width);
+      const TensorD pruned =
+          irfftn(spec, static_cast<int>(pc.ndim), n_last, &mask);
+      ASSERT_EQ(pruned.shape(), full.shape());
+      for (index_t i = 0; i < full.size(); ++i) {
+        ASSERT_EQ(pruned[i], full[i]) << "width " << width << " i " << i;
+      }
+    }
+  }
+}
+
+TEST(FftPruned, SkipsLinesAndCountsThem) {
+  TensorD x({2, 2, 16, 16});
+  Rng rng(77);
+  x.fill_normal(rng, 0.0, 1.0);
+  const fft::ModeMask mask = corner_mask(x.shape(), 2, {6, 6});
+  auto& skipped = obs::counter("fft/pruned_lines_skipped");
+  auto& total = obs::counter("fft/lines_total");
+  const auto skipped0 = skipped.value();
+  const auto total0 = total.value();
+  (void)rfftn(x, 2, &mask);
+  EXPECT_GT(skipped.value(), skipped0);
+  EXPECT_GT(total.value() - total0, skipped.value() - skipped0);
+  const auto skipped1 = skipped.value();
+  (void)rfftn(x, 2);  // unmasked: no pruning
+  EXPECT_EQ(skipped.value(), skipped1);
+}
+
+TEST(FftPruned, MaskShapeMismatchRejected) {
+  TensorD x({1, 1, 8, 8});
+  fft::ModeMask bad(2);
+  bad[0].assign(7, 1);  // extent is 8
+  EXPECT_THROW(rfftn(x, 2, &bad), CheckError);
+  fft::ModeMask wrong_rank(1);
+  EXPECT_THROW(rfftn(x, 2, &wrong_rank), CheckError);
+}
+
+// --- workspace cache ---------------------------------------------------------
+
+TEST(FftWorkspace, SameSlotSameShapeReusesBuffer) {
+  TensorD& a = fft::workspace<double>("test/ws_reuse", {4, 6});
+  a(2, 3) = 42.0;
+  double* ptr = a.data();
+  TensorD& b = fft::workspace<double>("test/ws_reuse", {4, 6});
+  EXPECT_EQ(b.data(), ptr);
+  EXPECT_EQ(b(2, 3), 42.0);  // contents carried over
+}
+
+TEST(FftWorkspace, EqualNumelReshapesInPlace) {
+  TensorD& a = fft::workspace<double>("test/ws_reshape", {3, 8});
+  double* ptr = a.data();
+  TensorD& b = fft::workspace<double>("test/ws_reshape", {6, 4});
+  EXPECT_EQ(b.data(), ptr);  // same storage, new shape
+  EXPECT_EQ(b.shape(), (Shape{6, 4}));
+}
+
+TEST(FftWorkspace, DifferentNumelReallocates) {
+  TensorD& a = fft::workspace<double>("test/ws_grow", {2, 2});
+  EXPECT_EQ(a.size(), 4);
+  TensorD& b = fft::workspace<double>("test/ws_grow", {8, 8});
+  EXPECT_EQ(b.size(), 64);
+  EXPECT_EQ(b.shape(), (Shape{8, 8}));
+}
+
+TEST(FftWorkspace, SlotsAreIndependent) {
+  TensorD& a = fft::workspace<double>("test/ws_a", {4});
+  TensorD& b = fft::workspace<double>("test/ws_b", {4});
+  EXPECT_NE(a.data(), b.data());
 }
 
 TEST(Fftnd, ParsevalIn2D) {

@@ -326,6 +326,87 @@ TEST(SpectralConv, ConstantFieldScalesByDcWeight) {
   }
 }
 
+// --- SpectralConv mode pruning ------------------------------------------------
+
+/// Save/restore the process-wide pruning switch around a test body.
+struct PruningGuard {
+  explicit PruningGuard(bool on) : saved(SpectralConv::pruning()) {
+    SpectralConv::set_pruning(on);
+  }
+  ~PruningGuard() { SpectralConv::set_pruning(saved); }
+  bool saved;
+};
+
+TEST(SpectralConvPruning, ForwardAndBackwardBitwiseInvariant) {
+  // Pruned transforms must be bitwise identical to full ones — not merely
+  // close. Grid 12 exercises Bluestein lines on both axes; modes 4 leaves
+  // plenty of lines to skip.
+  const auto run_at = [](bool prune) {
+    PruningGuard guard(prune);
+    Rng rng(81);
+    SpectralConv conv(2, 3, {4, 4}, rng);
+    const TensorF x = random_input({2, 2, 12, 12}, 82);
+    const TensorF y = conv.forward(x);
+    const TensorF dx = conv.backward(random_input(y.shape(), 83));
+    return std::tuple{y, dx, conv.weight().grad};
+  };
+  const auto [y_full, dx_full, dw_full] = run_at(false);
+  const auto [y_pruned, dx_pruned, dw_pruned] = run_at(true);
+  ASSERT_EQ(y_pruned.shape(), y_full.shape());
+  for (index_t i = 0; i < y_full.size(); ++i) {
+    ASSERT_EQ(y_pruned[i], y_full[i]) << "forward i=" << i;
+  }
+  for (index_t i = 0; i < dx_full.size(); ++i) {
+    ASSERT_EQ(dx_pruned[i], dx_full[i]) << "dx i=" << i;
+  }
+  for (index_t i = 0; i < dw_full.size(); ++i) {
+    ASSERT_EQ(dw_pruned[i], dw_full[i]) << "dw i=" << i;
+  }
+}
+
+TEST(SpectralConvPruning, BitwiseInvariantAcrossThreadCounts3D) {
+  const auto run_at = [](bool prune, std::size_t width) {
+    PruningGuard guard(prune);
+    ThreadPool::Scope scope(width);
+    Rng rng(85);
+    SpectralConv conv(2, 2, {4, 4, 4}, rng);
+    const TensorF x = random_input({1, 2, 10, 8, 8}, 86);
+    const TensorF y = conv.forward(x);
+    const TensorF dx = conv.backward(random_input(y.shape(), 87));
+    return std::tuple{y, dx};
+  };
+  const auto [y_ref, dx_ref] = run_at(false, 1);
+  for (const std::size_t width : {std::size_t{1}, std::size_t{4}}) {
+    const auto [y, dx] = run_at(true, width);
+    for (index_t i = 0; i < y_ref.size(); ++i) {
+      ASSERT_EQ(y[i], y_ref[i]) << "width " << width << " i " << i;
+    }
+    for (index_t i = 0; i < dx_ref.size(); ++i) {
+      ASSERT_EQ(dx[i], dx_ref[i]) << "width " << width << " i " << i;
+    }
+  }
+}
+
+TEST(SpectralConvPruning, GradcheckInputPruned) {
+  // Grid (12) strictly larger than modes (4) so the pruned path really skips
+  // lines; the analytic gradient must still match finite differences.
+  PruningGuard guard(true);
+  Rng rng(90);
+  SpectralConv conv(2, 2, {4, 4}, rng);
+  const auto res =
+      gradcheck_input(conv, random_input({2, 2, 12, 12}, 91), 60, 2e-2f);
+  EXPECT_TRUE(res.ok()) << "max rel err " << res.max_rel_error;
+}
+
+TEST(SpectralConvPruning, GradcheckParametersPruned) {
+  PruningGuard guard(true);
+  Rng rng(92);
+  SpectralConv conv(2, 2, {4, 4}, rng);
+  const auto res =
+      gradcheck_parameters(conv, random_input({2, 2, 12, 12}, 93), 80, 2e-2f);
+  EXPECT_TRUE(res.ok()) << "max rel err " << res.max_rel_error;
+}
+
 // --- Losses -------------------------------------------------------------------
 
 TEST(Loss, MseValueAndGrad) {

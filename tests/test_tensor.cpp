@@ -180,13 +180,66 @@ TEST_P(GemmSizes, NtMatchesNaive) {
   }
 }
 
+// n values straddle the kPanel = 8 register tile: exact multiples (8, 64,
+// 24), panel + tail (17, 23), tail only (1, 5, 7, 9), and both k parities
+// for the unroll-by-two loop.
 INSTANTIATE_TEST_SUITE_P(Shapes, GemmSizes,
                          ::testing::Values(std::tuple{1, 1, 1},
                                            std::tuple{3, 5, 7},
                                            std::tuple{8, 8, 8},
                                            std::tuple{16, 1, 32},
                                            std::tuple{1, 64, 5},
-                                           std::tuple{33, 17, 9}));
+                                           std::tuple{33, 17, 9},
+                                           std::tuple{2, 24, 3},
+                                           std::tuple{4, 23, 6},
+                                           std::tuple{5, 9, 1}));
+
+TEST(Gemm, BetaVariantsMatchNaive) {
+  // beta ∈ {0, 1, 2} hits the three accumulator-initialisation branches of
+  // the panel kernel (and the hoisted branch pair in gemm_nt); n = 19 makes
+  // both the panel body and the tail run.
+  const index_t m = 6, n = 19, k = 5;
+  Rng rng(94);
+  TensorD a({m, k}), b({k, n}), at({k, m}), bt({n, k});
+  a.fill_normal(rng, 0.0, 1.0);
+  b.fill_normal(rng, 0.0, 1.0);
+  for (index_t i = 0; i < m; ++i) {
+    for (index_t p = 0; p < k; ++p) at(p, i) = a(i, p);
+  }
+  for (index_t p = 0; p < k; ++p) {
+    for (index_t j = 0; j < n; ++j) bt(j, p) = b(p, j);
+  }
+  TensorD prod({m, n});
+  naive_gemm<double>(m, n, k, a.data(), b.data(), prod.data());
+  for (const double beta : {0.0, 1.0, 2.0}) {
+    const double alpha = 1.5;
+    TensorD c0({m, n});
+    Rng crng(95);
+    c0.fill_normal(crng, 0.0, 1.0);
+    for (int variant = 0; variant < 3; ++variant) {
+      TensorD c = c0;
+      switch (variant) {
+        case 0:
+          gemm_nn<double>(m, n, k, alpha, a.data(), k, b.data(), n, beta,
+                          c.data(), n);
+          break;
+        case 1:
+          gemm_tn<double>(m, n, k, alpha, at.data(), m, b.data(), n, beta,
+                          c.data(), n);
+          break;
+        default:
+          gemm_nt<double>(m, n, k, alpha, a.data(), k, bt.data(), k, beta,
+                          c.data(), n);
+          break;
+      }
+      for (index_t i = 0; i < c.size(); ++i) {
+        const double ref = alpha * prod[i] + beta * c0[i];
+        ASSERT_NEAR(c[i], ref, 1e-12 * std::max(1.0, std::abs(ref)))
+            << "variant " << variant << " beta " << beta << " i " << i;
+      }
+    }
+  }
+}
 
 TEST(Gemm, AlphaBetaAccumulate) {
   const index_t m = 2, n = 2, k = 2;
