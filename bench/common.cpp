@@ -7,10 +7,17 @@
 
 namespace turb::bench {
 
+namespace {
+std::string g_json_out;
+}  // namespace
+
 void init(int argc, const char* const* argv) {
   const CliArgs args(argc, argv);
   apply_runtime_flags(args);
+  g_json_out = args.get("json-out", "");
 }
+
+const std::string& json_out_path() { return g_json_out; }
 
 ScaleParams scale_params() {
   ScaleParams p;

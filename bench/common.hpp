@@ -6,6 +6,7 @@
 // O(minute) per bench, `paper` restores the published grid/ensemble/epochs.
 #pragma once
 
+#include <string>
 #include <vector>
 
 #include "core/turbfno.hpp"
@@ -31,7 +32,12 @@ struct ScaleParams {
 /// Parse the shared runtime flags (--threads, --metrics-out) every bench
 /// accepts. Call first thing in main() — each Fig/Table bench then emits a
 /// machine-readable phase breakdown (obs::dump_json) alongside its CSV.
+/// Also records --json-out for benches that support a JSON result dump.
 void init(int argc, const char* const* argv);
+
+/// Value of --json-out (empty when absent): path where the bench should
+/// write a machine-readable result record alongside its CSV.
+const std::string& json_out_path();
 
 /// Parameters for the active TURBFNO_SCALE.
 ScaleParams scale_params();

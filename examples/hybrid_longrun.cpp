@@ -16,6 +16,7 @@
 #include <string>
 
 #include "core/turbfno.hpp"
+#include "obs/obs.hpp"
 #include "util/cli.hpp"
 #include "util/image.hpp"
 #include "util/table.hpp"
@@ -145,6 +146,13 @@ int main(int argc, char** argv) {
   dump(fno_run, "fno");
   dump(hybrid_run, "hybrid");
   std::printf("final-state vorticity images written to %s\n", outdir.c_str());
+
+  // The FNO legs above ran through the serving engine (FnoPropagator plans
+  // once for the seed shape, then every window advances allocation-free).
+  std::printf("\nserving engine: arena %.1f MB, %lld steady-state allocs\n",
+              static_cast<double>(fno_prop.engine().arena_bytes()) / 1e6,
+              static_cast<long long>(
+                  obs::counter("infer/steady_state_allocs").value()));
 
   const auto& pm = pde_run.metrics.back();
   const auto& fm = fno_run.metrics.back();

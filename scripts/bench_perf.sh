@@ -1,23 +1,32 @@
 #!/usr/bin/env bash
-# Spectral perf trajectory: build and run bench_perf_train, leaving
-# BENCH_spectral.json at the repo root (override with BENCH_OUT).
+# Perf trajectory: build and run the perf harnesses, leaving
+# BENCH_spectral.json and BENCH_inference.json at the repo root.
 #
-# The bench times the batched 2-D FFT, SpectralConv fwd/bwd with mode
+# bench_perf_train times the batched 2-D FFT, SpectralConv fwd/bwd with mode
 # pruning on and off (full-transform baseline), the GEMM panel kernels, and
 # a full fixture train step, and records the fft/pruned_lines_skipped /
 # fft/lines_total coverage counters.
 #
+# bench_perf_infer times the serving engine against the training-path
+# forward at the paper shape (N=64, 12 modes) — the two are timed in
+# interleaved batches and produce bitwise-identical outputs — plus rollout
+# and batched-rollout cost per snapshot, and records the engine's
+# zero-steady-state-allocation counters and arena footprint.
+#
 # Usage: scripts/bench_perf.sh [build-dir]   (default: build)
-#   BENCH_OUT=path           output JSON (default: BENCH_spectral.json)
-#   TURBFNO_BENCH_ARGS=...   extra flags for bench_perf_train
+#   BENCH_OUT=path           spectral output JSON (default: BENCH_spectral.json)
+#   BENCH_INFER_OUT=path     inference output JSON (default: BENCH_inference.json)
+#   TURBFNO_BENCH_ARGS=...   extra flags for both benches
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build}"
 OUT="${BENCH_OUT:-BENCH_spectral.json}"
+INFER_OUT="${BENCH_INFER_OUT:-BENCH_inference.json}"
 
 cmake -B "$BUILD_DIR" -S . > /dev/null
-cmake --build "$BUILD_DIR" -j --target bench_perf_train > /dev/null
+cmake --build "$BUILD_DIR" -j --target bench_perf_train bench_perf_infer \
+    > /dev/null
 
 # shellcheck disable=SC2086  # intentional word splitting of extra args
 "$BUILD_DIR/bench/bench_perf_train" --out "$OUT" ${TURBFNO_BENCH_ARGS:-}
@@ -33,4 +42,20 @@ print(f"bench_perf: spectral fwd+bwd pruned-vs-full speedup {s:.2f}x, "
       f"pruning coverage {skipped}/{total} lines "
       f"({100.0 * skipped / max(total, 1):.1f}%)")
 EOF
-echo "bench_perf: OK ($OUT)"
+
+# shellcheck disable=SC2086
+"$BUILD_DIR/bench/bench_perf_infer" --min-seconds 0.5 --out "$INFER_OUT" \
+    ${TURBFNO_BENCH_ARGS:-}
+
+python3 - "$INFER_OUT" <<'EOF'
+import json, sys
+d = json.load(open(sys.argv[1]))
+assert d["version"] == 1, "unexpected schema version"
+s = d["speedup"]["engine_forward_vs_train"]
+allocs = d["counters"]["infer/steady_state_allocs"]
+assert allocs == 0, f"engine allocated in steady state ({allocs} allocations)"
+print(f"bench_perf: engine forward {s:.2f}x vs training-path forward, "
+      f"steady-state allocations {allocs}, "
+      f"arena {d['gauges']['infer/arena_bytes'] / 1e6:.1f} MB")
+EOF
+echo "bench_perf: OK ($OUT, $INFER_OUT)"

@@ -12,7 +12,12 @@
 #  3. A perf-harness smoke: bench_perf_train at a tiny measurement budget,
 #     asserting it produces a well-formed BENCH_spectral.json (the recorded
 #     numbers are non-gating; only the schema is checked here).
-#  4. Optionally (TURBFNO_TIER1_SANITIZE=1), an AddressSanitizer + UBSan
+#  4. An inference-engine smoke: bench_perf_infer at a tiny budget with
+#     --metrics-out, asserting the nn/infer_* spans are exported, the
+#     zero-steady-state-allocation contract holds
+#     (infer/steady_state_allocs == 0), and the BENCH_inference.json schema
+#     is well formed.
+#  5. Optionally (TURBFNO_TIER1_SANITIZE=1), an AddressSanitizer + UBSan
 #     build of the test suite in a sibling build dir, with ctest run once.
 #
 # Usage: scripts/check_tier1.sh [build-dir]   (default: build)
@@ -83,6 +88,33 @@ assert "fft/pruned_lines_skipped" in d["counters"], "pruning counter missing"
 assert "fft/lines_total" in d["counters"], "lines_total counter missing"
 EOF
 
+# Inference-engine smoke: spans present, zero steady-state allocations,
+# BENCH_inference.json schema valid. Timings are non-gating here.
+INFER_JSON="$BUILD_DIR/check_tier1_bench_inference.json"
+INFER_METRICS="$BUILD_DIR/check_tier1_infer_metrics.json"
+rm -f "$INFER_JSON" "$INFER_METRICS"
+"$BUILD_DIR/bench/bench_perf_infer" --min-seconds 0.01 --out "$INFER_JSON" \
+    --metrics-out "$INFER_METRICS" > /dev/null
+for span in '"nn/infer_plan"' '"nn/infer_forward"' '"nn/infer_lift"' \
+            '"nn/infer_spectral"' '"nn/infer_project"' '"nn/infer_rollout"'; do
+  grep -q "$span" "$INFER_METRICS" || {
+    echo "check_tier1: span $span missing from $INFER_METRICS" >&2
+    exit 1
+  }
+done
+python3 - "$INFER_JSON" <<'EOF'
+import json, sys
+d = json.load(open(sys.argv[1]))
+assert d["version"] == 1, "unexpected BENCH_inference schema version"
+for key in ("infer/train_forward_n64", "infer/engine_forward_n64",
+            "infer/rollout_step_n64", "infer/batched_rollout_step_n64"):
+    assert key in d["results_ns_per_op"], f"{key} timing missing"
+assert "engine_forward_vs_train" in d["speedup"], "speedup missing"
+assert d["counters"]["infer/steady_state_allocs"] == 0, \
+    "inference engine allocated in steady state"
+assert d["gauges"]["infer/arena_bytes"] > 0, "arena gauge missing"
+EOF
+
 if [[ "${TURBFNO_TIER1_SANITIZE:-0}" == "1" ]]; then
   ASAN_DIR="$BUILD_DIR-asan"
   cmake -B "$ASAN_DIR" -S . -DTURBFNO_SANITIZE=ON -DTURBFNO_BUILD_BENCH=OFF \
@@ -92,4 +124,4 @@ if [[ "${TURBFNO_TIER1_SANITIZE:-0}" == "1" ]]; then
       -j "$(nproc)"
 fi
 
-echo "check_tier1: OK (tests passed at 1 and 4 threads, determinism dumps identical, metrics JSON valid: $METRICS, perf smoke JSON valid: $PERF_JSON)"
+echo "check_tier1: OK (tests passed at 1 and 4 threads, determinism dumps identical, metrics JSON valid: $METRICS, perf smoke JSON valid: $PERF_JSON, inference smoke JSON valid: $INFER_JSON)"

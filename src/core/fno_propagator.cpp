@@ -6,7 +6,10 @@ namespace turb::core {
 
 FnoPropagator::FnoPropagator(fno::Fno& model, analysis::Normalizer normalizer,
                              double dt_snap)
-    : model_(&model), normalizer_(normalizer), dt_snap_(dt_snap) {
+    : model_(&model),
+      engine_(model),
+      normalizer_(normalizer),
+      dt_snap_(dt_snap) {
   TURB_CHECK(dt_snap_ > 0.0);
   TURB_CHECK_MSG(model_->config().rank() == 2,
                  "FnoPropagator requires a rank-2 (temporal channels) model");
@@ -14,6 +17,13 @@ FnoPropagator::FnoPropagator(fno::Fno& model, analysis::Normalizer normalizer,
 
 std::vector<FieldSnapshot> FnoPropagator::advance(const History& history,
                                                   index_t count) {
+  std::vector<FieldSnapshot> out;
+  advance_into(history, count, out);
+  return out;
+}
+
+void FnoPropagator::advance_into(const History& history, index_t count,
+                                 std::vector<FieldSnapshot>& out) {
   const index_t cin = model_->config().in_channels;
   const index_t cout = model_->config().out_channels;
   TURB_CHECK_MSG(static_cast<index_t>(history.size()) >= cin,
@@ -24,58 +34,71 @@ std::vector<FieldSnapshot> FnoPropagator::advance(const History& history,
   const index_t h = ref.dim(0), w = ref.dim(1);
   const index_t frame = h * w;
 
-  // Both components in one batch: (2, C_in, H, W), normalised.
-  TensorF window({2, cin, h, w});
+  // Both components in one batch: (2, C_in, H, W), cast + normalised
+  // directly into the engine's arena window — the training-path code built
+  // a fresh tensor and ran a second normalisation pass over it. The fused
+  // form applies the identical per-element float chain (cast, subtract
+  // mean, multiply by 1/std), so the window contents are bitwise unchanged.
+  engine_.plan({2, cin, h, w});
+  float* win = engine_.window_buffer();
+  const auto mf = static_cast<float>(normalizer_.mean());
+  const auto invf = static_cast<float>(1.0 / normalizer_.stddev());
   const auto first = history.size() - static_cast<std::size_t>(cin);
   for (index_t c = 0; c < cin; ++c) {
     const FieldSnapshot& snap = history[first + static_cast<std::size_t>(c)];
     TURB_CHECK(snap.u1.size() == frame && snap.u2.size() == frame);
+    float* w1 = win + (0 * cin + c) * frame;
+    float* w2 = win + (1 * cin + c) * frame;
     for (index_t i = 0; i < frame; ++i) {
-      window[(0 * cin + c) * frame + i] = static_cast<float>(snap.u1[i]);
-      window[(1 * cin + c) * frame + i] = static_cast<float>(snap.u2[i]);
+      w1[i] = (static_cast<float>(snap.u1[i]) - mf) * invf;
+      w2[i] = (static_cast<float>(snap.u2[i]) - mf) * invf;
     }
   }
-  normalizer_.apply(window);
 
-  std::vector<FieldSnapshot> out;
-  out.reserve(static_cast<std::size_t>(count));
+  // Reuse the caller's snapshot tensors when shapes match (steady state of
+  // a hybrid run); (re)allocate only on first use or resolution change.
+  out.resize(static_cast<std::size_t>(count));
+  const auto is_field = [h, w](const TensorD& t) {
+    return t.rank() == 2 && t.dim(0) == h && t.dim(1) == w;
+  };
+  for (FieldSnapshot& snap : out) {
+    if (!is_field(snap.u1)) snap.u1 = TensorD({h, w});
+    if (!is_field(snap.u2)) snap.u2 = TensorD({h, w});
+  }
+
+  const auto sf = static_cast<float>(normalizer_.stddev());
   const double t0 = history.back().t;
+  const float* pred = engine_.pred_buffer(0);
   index_t produced = 0;
   while (produced < count) {
-    TensorF pred = model_->forward(window);  // (2, C_out, H, W), normalised
-    // Slide the window before de-normalising.
-    TensorF next({2, cin, h, w});
-    if (cout >= cin) {
-      for (index_t b = 0; b < 2; ++b) {
-        std::copy_n(pred.data() + (b * cout + (cout - cin)) * frame,
-                    cin * frame, next.data() + b * cin * frame);
-      }
-    } else {
-      for (index_t b = 0; b < 2; ++b) {
-        std::copy_n(window.data() + (b * cin + cout) * frame,
-                    (cin - cout) * frame, next.data() + b * cin * frame);
-        std::copy_n(pred.data() + b * cout * frame, cout * frame,
-                    next.data() + (b * cin + (cin - cout)) * frame);
+    engine_.forward_raw(win, engine_.pred_buffer(0));
+    // Slide the window first (it consumes the normalised prediction), then
+    // de-normalise on the fly while extracting snapshots — the prediction
+    // buffer itself is never modified, so the slide and the extraction read
+    // the same values the training path did.
+    const index_t take = std::min(cout, count - produced);
+    for (index_t b = 0; b < 2; ++b) {
+      float* wb = win + b * cin * frame;
+      const float* pb = pred + b * cout * frame;
+      if (cout >= cin) {
+        std::copy_n(pb + (cout - cin) * frame, cin * frame, wb);
+      } else {
+        std::copy(wb + cout * frame, wb + cin * frame, wb);
+        std::copy_n(pb, cout * frame, wb + (cin - cout) * frame);
       }
     }
-    window = std::move(next);
-
-    normalizer_.invert(pred);
-    const index_t take = std::min(cout, count - produced);
     for (index_t s = 0; s < take; ++s) {
-      FieldSnapshot snap;
+      FieldSnapshot& snap = out[static_cast<std::size_t>(produced + s)];
       snap.t = t0 + dt_snap_ * static_cast<double>(produced + s + 1);
-      snap.u1 = TensorD({h, w});
-      snap.u2 = TensorD({h, w});
+      const float* p1 = pred + (0 * cout + s) * frame;
+      const float* p2 = pred + (1 * cout + s) * frame;
       for (index_t i = 0; i < frame; ++i) {
-        snap.u1[i] = pred[(0 * cout + s) * frame + i];
-        snap.u2[i] = pred[(1 * cout + s) * frame + i];
+        snap.u1[i] = static_cast<double>(p1[i] * sf + mf);
+        snap.u2[i] = static_cast<double>(p2[i] * sf + mf);
       }
-      out.push_back(std::move(snap));
     }
     produced += take;
   }
-  return out;
 }
 
 }  // namespace turb::core

@@ -3,11 +3,19 @@
 // operator (components ride the batch axis, matching the paper's training
 // setup); inputs are normalised with the statistics the model was trained
 // under and predictions are de-normalised on the way out.
+//
+// Serving path: the propagator owns an inference engine (src/infer) planned
+// for the (2, C_in, H, W) window shape. Marshalling is fused into the
+// engine's arena — history snapshots are cast + normalised straight into the
+// engine's window buffer and predictions are de-normalised during snapshot
+// extraction — so advance_into() performs zero heap allocations once its
+// output snapshots are warm.
 #pragma once
 
 #include "analysis/stats.hpp"
 #include "core/propagator.hpp"
 #include "fno/fno.hpp"
+#include "infer/engine.hpp"
 
 namespace turb::core {
 
@@ -21,14 +29,25 @@ class FnoPropagator final : public Propagator {
 
   std::vector<FieldSnapshot> advance(const History& history,
                                      index_t count) override;
+
+  /// Allocation-free variant: writes `count` snapshots into `out`, reusing
+  /// its tensors when the shapes already match (the steady state of a hybrid
+  /// run). advance() wraps this.
+  void advance_into(const History& history, index_t count,
+                    std::vector<FieldSnapshot>& out);
+
   [[nodiscard]] double dt_snap() const override { return dt_snap_; }
   [[nodiscard]] index_t min_history() const override {
     return model_->config().in_channels;
   }
   [[nodiscard]] std::string name() const override { return "fno"; }
 
+  /// The planned executor (arena introspection for benches/tests).
+  [[nodiscard]] infer::InferenceEngine& engine() { return engine_; }
+
  private:
   fno::Fno* model_;
+  infer::InferenceEngine engine_;
   analysis::Normalizer normalizer_;
   double dt_snap_;
 };

@@ -4,16 +4,110 @@
 // frequencies); irfft inverts with the 1/n normalisation so that
 // irfft(rfft(x)) == x. Lengths must be even (all grids and the temporal
 // window length used in this library are even).
+//
+// The unpack twiddles e^(±2πik/n) are read from a caller-provided table so
+// the inference engine can compute them once at plan time; the rfft/irfft
+// wrappers fill a scratch table per call (the historical cost). Both paths
+// run the one shared _scratch instantiation on identical table values, so
+// their outputs are bitwise identical by construction.
 #pragma once
 
 #include <complex>
 #include <cstdint>
+#include <numbers>
 #include <vector>
 
 #include "fft/plan_cache.hpp"
 #include "util/common.hpp"
 
 namespace turb::fft {
+
+/// Fill `tw` (n/2+1 entries) with the rfft unpack twiddles
+/// tw[k] = e^(-2πik/n) — the exact expressions rfft historically evaluated
+/// inline per bin, so precomputed tables reproduce the same values.
+template <typename T>
+void fill_rfft_twiddles(std::complex<T>* tw, index_t n) {
+  const index_t h = n / 2;
+  for (index_t k = 0; k <= h; ++k) {
+    const double ang = -2.0 * std::numbers::pi * static_cast<double>(k) /
+                       static_cast<double>(n);
+    tw[k] = std::complex<T>(static_cast<T>(std::cos(ang)),
+                            static_cast<T>(std::sin(ang)));
+  }
+}
+
+/// Fill `tw` (n/2 entries) with the irfft pack twiddles tw[k] = e^(2πik/n).
+template <typename T>
+void fill_irfft_twiddles(std::complex<T>* tw, index_t n) {
+  const index_t h = n / 2;
+  for (index_t k = 0; k < h; ++k) {
+    const double ang = 2.0 * std::numbers::pi * static_cast<double>(k) /
+                       static_cast<double>(n);
+    tw[k] = std::complex<T>(static_cast<T>(std::cos(ang)),
+                            static_cast<T>(std::sin(ang)));
+  }
+}
+
+/// rfft core with caller-provided scratch `z` (n/2 elements) and twiddle
+/// table `tw` (n/2+1 elements, see fill_rfft_twiddles). The inference
+/// engine's arena hands in preallocated slices here; the thread_local
+/// wrapper below keeps the original signature for everyone else. Both run
+/// the exact same instructions, so results are bitwise identical between
+/// the two entry points.
+template <typename T>
+void rfft_scratch(const T* in, std::complex<T>* out, index_t n,
+                  const std::uint8_t* keep_bins, std::complex<T>* z,
+                  const std::complex<T>* tw) {
+  using cpx = std::complex<T>;
+  TURB_CHECK_MSG(n >= 2 && n % 2 == 0, "rfft length must be even, got " << n);
+  const index_t h = n / 2;
+  for (index_t k = 0; k < h; ++k) {
+    z[k] = cpx(in[2 * k], in[2 * k + 1]);
+  }
+  plan<T>(h).forward(z);
+
+  for (index_t k = 0; k <= h; ++k) {
+    if (keep_bins != nullptr && keep_bins[k] == 0) continue;
+    const cpx zk = z[k % h];
+    const cpx zc = std::conj(z[(h - k) % h]);
+    const cpx e = (zk + zc) * T{0.5};
+    // O_k = (zk - zc) / (2i) = -i/2 * (zk - zc)
+    const cpx d = zk - zc;
+    const cpx o(T{0.5} * d.imag(), T{-0.5} * d.real());
+    const cpx w = tw[k];
+    out[k] = e + w * o;
+  }
+}
+
+/// irfft core with caller-provided scratch `z` (n/2 elements) and twiddle
+/// table `tw` (n/2 elements, see fill_irfft_twiddles).
+template <typename T>
+void irfft_scratch(const std::complex<T>* in, T* out, index_t n,
+                   std::complex<T>* z, const std::complex<T>* tw) {
+  using cpx = std::complex<T>;
+  TURB_CHECK_MSG(n >= 2 && n % 2 == 0, "irfft length must be even, got " << n);
+  const index_t h = n / 2;
+  for (index_t k = 0; k < h; ++k) {
+    // The DC and Nyquist coefficients of a real signal are real; like cuFFT's
+    // C2R, ignore any imaginary part there so the transform is exactly the
+    // Hermitian-symmetric inverse (this makes the spectral-conv backward pass
+    // an exact adjoint even when upstream produces non-Hermitian spectra).
+    const cpx xk = (k == 0) ? cpx(in[0].real(), T{}) : in[k];
+    const cpx xc = (k == 0) ? cpx(in[h].real(), T{})
+                            : std::conj(in[h - k]);
+    const cpx e = (xk + xc) * T{0.5};
+    const cpx d = (xk - xc) * T{0.5};
+    const cpx w = tw[k];
+    const cpx o = d * w;
+    // Z_k = E_k + i O_k
+    z[k] = cpx(e.real() - o.imag(), e.imag() + o.real());
+  }
+  plan<T>(h).inverse(z);
+  for (index_t k = 0; k < h; ++k) {
+    out[2 * k] = z[k].real();
+    out[2 * k + 1] = z[k].imag();
+  }
+}
 
 /// Forward real-to-complex DFT. `out` must hold n/2+1 elements.
 ///
@@ -25,63 +119,26 @@ namespace turb::fft {
 template <typename T>
 void rfft(const T* in, std::complex<T>* out, index_t n,
           const std::uint8_t* keep_bins = nullptr) {
-  using cpx = std::complex<T>;
   TURB_CHECK_MSG(n >= 2 && n % 2 == 0, "rfft length must be even, got " << n);
-  const index_t h = n / 2;
-  thread_local std::vector<cpx> z;
-  z.resize(static_cast<std::size_t>(h));
-  for (index_t k = 0; k < h; ++k) {
-    z[static_cast<std::size_t>(k)] = cpx(in[2 * k], in[2 * k + 1]);
-  }
-  plan<T>(h).forward(z.data());
-
-  for (index_t k = 0; k <= h; ++k) {
-    if (keep_bins != nullptr && keep_bins[k] == 0) continue;
-    const cpx zk = z[static_cast<std::size_t>(k % h)];
-    const cpx zc = std::conj(z[static_cast<std::size_t>((h - k) % h)]);
-    const cpx e = (zk + zc) * T{0.5};
-    // O_k = (zk - zc) / (2i) = -i/2 * (zk - zc)
-    const cpx d = zk - zc;
-    const cpx o(T{0.5} * d.imag(), T{-0.5} * d.real());
-    const double ang = -2.0 * std::numbers::pi * static_cast<double>(k) /
-                       static_cast<double>(n);
-    const cpx w(static_cast<T>(std::cos(ang)), static_cast<T>(std::sin(ang)));
-    out[k] = e + w * o;
-  }
+  thread_local std::vector<std::complex<T>> z;
+  thread_local std::vector<std::complex<T>> tw;
+  z.resize(static_cast<std::size_t>(n / 2));
+  tw.resize(static_cast<std::size_t>(n / 2 + 1));
+  fill_rfft_twiddles(tw.data(), n);
+  rfft_scratch(in, out, n, keep_bins, z.data(), tw.data());
 }
 
 /// Inverse complex-to-real DFT (1/n scaling). `in` holds n/2+1 elements and
 /// is treated as the non-negative-frequency half of a Hermitian spectrum.
 template <typename T>
 void irfft(const std::complex<T>* in, T* out, index_t n) {
-  using cpx = std::complex<T>;
   TURB_CHECK_MSG(n >= 2 && n % 2 == 0, "irfft length must be even, got " << n);
-  const index_t h = n / 2;
-  thread_local std::vector<cpx> z;
-  z.resize(static_cast<std::size_t>(h));
-  for (index_t k = 0; k < h; ++k) {
-    // The DC and Nyquist coefficients of a real signal are real; like cuFFT's
-    // C2R, ignore any imaginary part there so the transform is exactly the
-    // Hermitian-symmetric inverse (this makes the spectral-conv backward pass
-    // an exact adjoint even when upstream produces non-Hermitian spectra).
-    const cpx xk = (k == 0) ? cpx(in[0].real(), T{}) : in[k];
-    const cpx xc = (k == 0) ? cpx(in[h].real(), T{})
-                            : std::conj(in[h - k]);
-    const cpx e = (xk + xc) * T{0.5};
-    const cpx d = (xk - xc) * T{0.5};
-    const double ang = 2.0 * std::numbers::pi * static_cast<double>(k) /
-                       static_cast<double>(n);
-    const cpx w(static_cast<T>(std::cos(ang)), static_cast<T>(std::sin(ang)));
-    const cpx o = d * w;
-    // Z_k = E_k + i O_k
-    z[static_cast<std::size_t>(k)] =
-        cpx(e.real() - o.imag(), e.imag() + o.real());
-  }
-  plan<T>(h).inverse(z.data());
-  for (index_t k = 0; k < h; ++k) {
-    out[2 * k] = z[static_cast<std::size_t>(k)].real();
-    out[2 * k + 1] = z[static_cast<std::size_t>(k)].imag();
-  }
+  thread_local std::vector<std::complex<T>> z;
+  thread_local std::vector<std::complex<T>> tw;
+  z.resize(static_cast<std::size_t>(n / 2));
+  tw.resize(static_cast<std::size_t>(n / 2));
+  fill_irfft_twiddles(tw.data(), n);
+  irfft_scratch(in, out, n, z.data(), tw.data());
 }
 
 }  // namespace turb::fft

@@ -49,6 +49,15 @@ class Fno : public nn::Module {
 
   [[nodiscard]] const FnoConfig& config() const { return config_; }
 
+  // Layer access for the inference engine (src/infer), which prepacks the
+  // weights and replays the exact forward() dataflow out of an arena.
+  [[nodiscard]] nn::Linear& lift1() { return lift1_; }
+  [[nodiscard]] nn::Linear& lift2() { return lift2_; }
+  [[nodiscard]] nn::Linear& proj1() { return proj1_; }
+  [[nodiscard]] nn::Linear& proj2() { return proj2_; }
+  [[nodiscard]] nn::SpectralConv& conv(index_t l) { return *convs_[l]; }
+  [[nodiscard]] nn::Linear& skip(index_t l) { return *skips_[l]; }
+
  private:
   FnoConfig config_;
   nn::Linear lift1_;

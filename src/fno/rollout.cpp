@@ -1,65 +1,25 @@
 #include "fno/rollout.hpp"
 
-#include <algorithm>
-
 namespace turb::fno {
 
 TensorF rollout_channels(Fno& model, const TensorF& history, index_t steps) {
-  const FnoConfig& cfg = model.config();
-  TURB_CHECK_MSG(cfg.rank() == 2, "rollout_channels needs a rank-2 model");
-  TURB_CHECK_MSG(history.rank() == 3 && history.dim(0) == cfg.in_channels,
-                 "history must be (C_in, H, W)");
-  TURB_CHECK(steps >= 1);
-  const index_t h = history.dim(1);
-  const index_t w = history.dim(2);
-  const index_t frame = h * w;
-  const index_t cin = cfg.in_channels;
-  const index_t cout = cfg.out_channels;
-
-  TensorF out({steps, h, w});
-  TensorF window({1, cin, h, w});
-  std::copy_n(history.data(), cin * frame, window.data());
-
-  index_t produced = 0;
-  while (produced < steps) {
-    const TensorF pred = model.forward(window);  // (1, C_out, H, W)
-    const index_t take = std::min(cout, steps - produced);
-    std::copy_n(pred.data(), take * frame, out.data() + produced * frame);
-    produced += take;
-    // Slide the window: drop the oldest C_out snapshots, append predictions.
-    if (cout >= cin) {
-      // Window is replaced by the most recent C_in predictions.
-      std::copy_n(pred.data() + (cout - cin) * frame, cin * frame,
-                  window.data());
-    } else {
-      std::copy(window.data() + cout * frame, window.data() + cin * frame,
-                window.data());
-      std::copy_n(pred.data(), cout * frame,
-                  window.data() + (cin - cout) * frame);
-    }
-  }
+  infer::InferenceEngine engine(model);
+  TensorF out;
+  engine.rollout_channels_into(history, steps, out);
   return out;
 }
 
 TensorF rollout_3d(Fno& model, const TensorF& seed_block, index_t blocks) {
-  const FnoConfig& cfg = model.config();
-  TURB_CHECK_MSG(cfg.rank() == 3, "rollout_3d needs a rank-3 model");
-  TURB_CHECK_MSG(seed_block.rank() == 3, "seed block must be (T, H, W)");
-  TURB_CHECK(blocks >= 1);
-  const index_t t = seed_block.dim(0);
-  const index_t h = seed_block.dim(1);
-  const index_t w = seed_block.dim(2);
-  const index_t block_elems = t * h * w;
+  infer::InferenceEngine engine(model);
+  TensorF out;
+  engine.rollout_3d_into(seed_block, blocks, out);
+  return out;
+}
 
-  TensorF out({blocks * t, h, w});
-  TensorF window({1, 1, t, h, w});
-  std::copy_n(seed_block.data(), block_elems, window.data());
-
-  for (index_t b = 0; b < blocks; ++b) {
-    const TensorF pred = model.forward(window);  // (1, 1, T, H, W)
-    std::copy_n(pred.data(), block_elems, out.data() + b * block_elems);
-    std::copy_n(pred.data(), block_elems, window.data());
-  }
+TensorF rollout_channels_batched(infer::InferenceEngine& engine,
+                                 const TensorF& histories, index_t steps) {
+  TensorF out;
+  engine.rollout_channels_batched_into(histories, steps, out);
   return out;
 }
 

@@ -6,9 +6,17 @@
 // snapshots and emits the next block. Fewer output channels means more model
 // invocations per horizon — the source of the "compound error" the paper
 // observes for 1-channel outputs (Fig. 5).
+//
+// All rollouts run through the inference engine (src/infer): the model is
+// planned once for the rollout shape and every autoregressive step reuses
+// the same arena buffers. Results are bitwise identical to stepping
+// Fno::forward by hand (enforced by tests/test_infer.cpp). The Fno&
+// convenience overloads build a throwaway engine; callers stepping many
+// rollouts should hold an InferenceEngine and use the _into variants.
 #pragma once
 
 #include "fno/fno.hpp"
+#include "infer/engine.hpp"
 
 namespace turb::fno {
 
@@ -25,5 +33,11 @@ TensorF rollout_channels(Fno& model, const TensorF& history, index_t steps);
 /// (T, H, W) block; the result is `blocks` consecutive predicted blocks
 /// concatenated along time: (blocks·T, H, W).
 TensorF rollout_3d(Fno& model, const TensorF& seed_block, index_t blocks);
+
+/// Batched multi-trajectory rollout for serving throughput: histories
+/// (B, C_in, H, W) → (B, steps, H, W), every trajectory bitwise identical
+/// to its single-trajectory rollout.
+TensorF rollout_channels_batched(infer::InferenceEngine& engine,
+                                 const TensorF& histories, index_t steps);
 
 }  // namespace turb::fno

@@ -1,0 +1,82 @@
+// Bump-pointer arena backing the inference engine.
+//
+// All activation, spectrum, and per-thread scratch buffers of a planned FNO
+// execution are laid out once (reserve calls between begin_layout and
+// commit) and then served as aligned slices of one heap block. The block is
+// grow-only: replanning to a larger shape reallocates, replanning to a
+// smaller or equal footprint reuses the existing storage — so the steady
+// state of any fixed shape performs zero heap allocations.
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <new>
+
+#include "util/common.hpp"
+
+namespace turb::infer {
+
+class Arena {
+ public:
+  /// Every slice starts on a 64-byte boundary (cache line; covers any vector
+  /// width the compiler picks for the kernels).
+  static constexpr std::size_t kAlign = 64;
+
+  Arena() = default;
+  ~Arena() { release(); }
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Start a new layout. Previously handed-out offsets become invalid;
+  /// the underlying storage is kept for reuse.
+  void begin_layout() { used_ = 0; }
+
+  /// Reserve `count` elements of T; returns the slice's byte offset,
+  /// resolvable via at<T>() after commit().
+  template <typename T>
+  [[nodiscard]] std::size_t reserve(index_t count) {
+    TURB_CHECK(count >= 0);
+    used_ = (used_ + kAlign - 1) / kAlign * kAlign;
+    const std::size_t off = used_;
+    used_ += static_cast<std::size_t>(count) * sizeof(T);
+    return off;
+  }
+
+  /// Materialise the layout: grow the block if needed (the only point at
+  /// which the arena may touch the heap) and zero-fill the used region —
+  /// which is what establishes the "unkept spectrum positions are exactly
+  /// zero" invariant the pruned inverse FFT relies on.
+  void commit() {
+    if (used_ > capacity_) {
+      release();
+      data_ = static_cast<std::byte*>(
+          ::operator new(used_, std::align_val_t{kAlign}));
+      capacity_ = used_;
+    }
+    if (used_ > 0) std::memset(data_, 0, used_);
+  }
+
+  template <typename T>
+  [[nodiscard]] T* at(std::size_t offset) const {
+    return reinterpret_cast<T*>(data_ + offset);
+  }
+
+  /// Bytes of the committed layout (what the infer/arena_bytes gauge reports).
+  [[nodiscard]] std::size_t bytes() const { return used_; }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+ private:
+  void release() {
+    if (data_ != nullptr) {
+      ::operator delete(data_, std::align_val_t{kAlign});
+      data_ = nullptr;
+    }
+    capacity_ = 0;
+  }
+
+  std::byte* data_ = nullptr;
+  std::size_t used_ = 0;
+  std::size_t capacity_ = 0;
+};
+
+}  // namespace turb::infer

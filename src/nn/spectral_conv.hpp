@@ -57,6 +57,18 @@ class SpectralConv : public Module {
   /// Retained-mode count K = m₁·…·m_{r-1}·(m_r/2+1).
   [[nodiscard]] index_t kept_modes() const { return kept_modes_; }
 
+  /// (Re)build the mode map for a spatial shape and expose it, so the
+  /// inference engine can drive the identical pruned-FFT + kept-mode
+  /// contraction out of its own arena. Idempotent per shape.
+  void ensure_mode_map(const Shape& spatial) {
+    if (spatial != mapped_spatial_) build_mode_map(spatial);
+  }
+  [[nodiscard]] const std::vector<index_t>& spec_offsets() const {
+    return spec_offsets_;
+  }
+  [[nodiscard]] index_t spec_slab() const { return spec_slab_; }
+  [[nodiscard]] const fft::ModeMask& mode_mask() const { return mode_mask_; }
+
  private:
   using cpxf = std::complex<float>;
 

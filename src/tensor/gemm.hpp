@@ -147,31 +147,71 @@ void gemm_tn(index_t m, index_t n, index_t k, T alpha, const T* a, index_t lda,
   });
 }
 
+namespace detail {
+
+/// One row of the nt kernel, j-blocked into kPanel-wide register tiles.
+/// Each accumulator collects the raw dot product Σ_p a[p]·b[(j0+r)·ldb+p]
+/// in ascending-p order (unrolled by two, single accumulator per element)
+/// and alpha/beta are applied once at the end — the exact per-element
+/// operation order of the scalar loop below it, so the tiled and scalar
+/// kernels are bitwise identical.
+template <typename T>
+inline void gemm_nt_row_panels(index_t n, index_t k, T alpha, const T* ai,
+                               const T* b, index_t ldb, T beta, T* ci) {
+  index_t j0 = 0;
+  for (; j0 + kPanel <= n; j0 += kPanel) {
+    T acc[kPanel];
+    for (index_t r = 0; r < kPanel; ++r) acc[r] = T{0};
+    index_t p = 0;
+    for (; p + 2 <= k; p += 2) {
+      const T a0 = ai[p];
+      const T a1 = ai[p + 1];
+      for (index_t r = 0; r < kPanel; ++r) {
+        const T* bj = b + (j0 + r) * ldb;
+        acc[r] += a0 * bj[p];
+        acc[r] += a1 * bj[p + 1];
+      }
+    }
+    for (; p < k; ++p) {
+      const T a0 = ai[p];
+      for (index_t r = 0; r < kPanel; ++r) acc[r] += a0 * b[(j0 + r) * ldb + p];
+    }
+    if (beta == T{0}) {
+      for (index_t r = 0; r < kPanel; ++r) ci[j0 + r] = alpha * acc[r];
+    } else {
+      for (index_t r = 0; r < kPanel; ++r) {
+        ci[j0 + r] = alpha * acc[r] + beta * ci[j0 + r];
+      }
+    }
+  }
+  // Tail columns: the original scalar kernel (same per-element order).
+  if (beta == T{0}) {
+    for (index_t j = j0; j < n; ++j) {
+      const T* bj = b + j * ldb;
+      T acc{};
+      for (index_t p = 0; p < k; ++p) acc += ai[p] * bj[p];
+      ci[j] = alpha * acc;
+    }
+  } else {
+    for (index_t j = j0; j < n; ++j) {
+      const T* bj = b + j * ldb;
+      T acc{};
+      for (index_t p = 0; p < k; ++p) acc += ai[p] * bj[p];
+      ci[j] = alpha * acc + beta * ci[j];
+    }
+  }
+}
+
+}  // namespace detail
+
 template <typename T>
 void gemm_nt(index_t m, index_t n, index_t k, T alpha, const T* a, index_t lda,
              const T* b, index_t ldb, T beta, T* c, index_t ldc) {
   detail::count_gemm(m, n, k);
   detail::gemm_rows(m, n, k, [=](index_t i0, index_t i1) {
     for (index_t i = i0; i < i1; ++i) {
-      const T* ai = a + i * lda;
-      T* ci = c + i * ldc;
-      // The beta test is hoisted out of the element loop (it used to run
-      // once per C element).
-      if (beta == T{0}) {
-        for (index_t j = 0; j < n; ++j) {
-          const T* bj = b + j * ldb;
-          T acc{};
-          for (index_t p = 0; p < k; ++p) acc += ai[p] * bj[p];
-          ci[j] = alpha * acc;
-        }
-      } else {
-        for (index_t j = 0; j < n; ++j) {
-          const T* bj = b + j * ldb;
-          T acc{};
-          for (index_t p = 0; p < k; ++p) acc += ai[p] * bj[p];
-          ci[j] = alpha * acc + beta * ci[j];
-        }
-      }
+      detail::gemm_nt_row_panels(n, k, alpha, a + i * lda, b, ldb, beta,
+                                 c + i * ldc);
     }
   });
 }

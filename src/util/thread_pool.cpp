@@ -37,6 +37,11 @@ struct ParallelRegionGuard {
   ~ParallelRegionGuard() { --t_parallel_depth; }
 };
 
+// Pool this thread is a worker of (a thread belongs to at most one pool)
+// and its 1-based slot inside it; external threads stay at {nullptr, 0}.
+thread_local const ThreadPool* t_worker_pool = nullptr;
+thread_local std::size_t t_worker_slot = 0;
+
 }  // namespace
 
 ThreadPool::ThreadPool(std::size_t num_threads) {
@@ -46,7 +51,7 @@ ThreadPool::ThreadPool(std::size_t num_threads) {
   const std::size_t workers = num_threads > 0 ? num_threads - 1 : 0;
   workers_.reserve(workers);
   for (std::size_t i = 0; i < workers; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i + 1); });
   }
 }
 
@@ -66,7 +71,7 @@ void ThreadPool::run_task(Task& task) {
     if (i >= task.end) break;
     const index_t chunk_end = std::min<index_t>(i + task.chunk, task.end);
     try {
-      (*task.body)(i, chunk_end);
+      task.invoke(task.ctx, i, chunk_end);
     } catch (...) {
       std::lock_guard lock(task.error_mutex);
       if (!task.error) task.error = std::current_exception();
@@ -75,7 +80,9 @@ void ThreadPool::run_task(Task& task) {
   }
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::worker_loop(std::size_t slot) {
+  t_worker_pool = this;
+  t_worker_slot = slot;
   std::size_t seen_generation = 0;
   while (true) {
     Task* task = nullptr;
@@ -101,18 +108,31 @@ void ThreadPool::worker_loop() {
 void ThreadPool::parallel_for_chunked(
     index_t begin, index_t end,
     const std::function<void(index_t, index_t)>& body) {
+  parallel_for_chunked(
+      begin, end,
+      [](void* ctx, index_t b, index_t e) {
+        (*static_cast<const std::function<void(index_t, index_t)>*>(ctx))(b,
+                                                                          e);
+      },
+      const_cast<void*>(static_cast<const void*>(&body)));
+}
+
+void ThreadPool::parallel_for_chunked(index_t begin, index_t end,
+                                      void (*fn)(void*, index_t, index_t),
+                                      void* ctx) {
   if (begin >= end) return;
   const index_t n = end - begin;
   if (workers_.empty() || n == 1 || t_parallel_depth > 0) {
     // Serial path: no workers, a single index, or a nested region. Mark the
     // region anyway so nesting depth behaves identically at every width.
     ParallelRegionGuard region;
-    body(begin, end);
+    fn(ctx, begin, end);
     return;
   }
 
   Task task;
-  task.body = &body;
+  task.invoke = fn;
+  task.ctx = ctx;
   task.begin = begin;
   task.end = end;
   // ~4 chunks per thread for load balance without excessive contention.
@@ -149,6 +169,10 @@ void ThreadPool::parallel_for(index_t begin, index_t end,
         for (index_t i = b; i < e; ++i) body(i);
       };
   parallel_for_chunked(begin, end, chunked);
+}
+
+std::size_t ThreadPool::scratch_slot() const {
+  return t_worker_pool == this ? t_worker_slot : 0;
 }
 
 ThreadPool& ThreadPool::global() {

@@ -47,6 +47,27 @@ class ThreadPool {
       index_t begin, index_t end,
       const std::function<void(index_t, index_t)>& body);
 
+  /// Raw chunked dispatch: fn(ctx, chunk_begin, chunk_end). Identical
+  /// semantics to the std::function overload (which wraps this), but the
+  /// call path constructs nothing — no std::function, no capture copy — so
+  /// allocation-free hot loops (the inference engine's steady state) can
+  /// dispatch without touching the heap.
+  void parallel_for_chunked(index_t begin, index_t end,
+                            void (*fn)(void*, index_t, index_t), void* ctx);
+
+  /// Number of distinct values scratch_slot() can return for this pool:
+  /// size() (workers plus the submitting thread).
+  [[nodiscard]] std::size_t slot_count() const { return size(); }
+
+  /// Stable scratch-slot index of the calling thread with respect to this
+  /// pool: workers get 1..size()-1, any other thread gets 0. Threads that
+  /// can concurrently execute a parallel_for body on this pool (its workers
+  /// plus the single submitting thread) therefore hold disjoint slots, so
+  /// per-slot scratch buffers sized by slot_count() are race-free without
+  /// thread_local storage — which lets a planner preallocate every worker's
+  /// scratch up front instead of lazily on first touch per thread.
+  [[nodiscard]] std::size_t scratch_slot() const;
+
   /// Process-wide default pool. Sized by set_global_threads() when called
   /// before first use, else by TURBFNO_THREADS, else hardware_concurrency().
   static ThreadPool& global();
@@ -82,7 +103,8 @@ class ThreadPool {
 
  private:
   struct Task {
-    const std::function<void(index_t, index_t)>* body = nullptr;
+    void (*invoke)(void*, index_t, index_t) = nullptr;
+    void* ctx = nullptr;
     index_t begin = 0;
     index_t end = 0;
     index_t chunk = 1;
@@ -92,7 +114,7 @@ class ThreadPool {
     std::mutex error_mutex;
   };
 
-  void worker_loop();
+  void worker_loop(std::size_t slot);
   static void run_task(Task& task);
 
   std::vector<std::thread> workers_;

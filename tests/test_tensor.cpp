@@ -241,6 +241,65 @@ TEST(Gemm, BetaVariantsMatchNaive) {
   }
 }
 
+/// Scalar nt kernel, verbatim: per output element a single accumulator over
+/// ascending p with alpha (and beta) applied once at the end. The panel
+/// kernel in gemm.hpp must reproduce this bit-for-bit.
+template <typename T>
+void scalar_gemm_nt(index_t m, index_t n, index_t k, T alpha, const T* a,
+                    index_t lda, const T* b, index_t ldb, T beta, T* c,
+                    index_t ldc) {
+  for (index_t i = 0; i < m; ++i) {
+    const T* ai = a + i * lda;
+    T* ci = c + i * ldc;
+    for (index_t j = 0; j < n; ++j) {
+      const T* bj = b + j * ldb;
+      T acc{};
+      for (index_t p = 0; p < k; ++p) acc += ai[p] * bj[p];
+      ci[j] = beta == T{0} ? alpha * acc : alpha * acc + beta * ci[j];
+    }
+  }
+}
+
+template <typename T, typename Tensor>
+void check_nt_bit_equal(index_t m, index_t n, index_t k) {
+  Rng rng(1000 + static_cast<std::uint64_t>(m * 131 + n * 17 + k));
+  Tensor a({std::max<index_t>(m, 1), std::max<index_t>(k, 1)});
+  Tensor bt({std::max<index_t>(n, 1), std::max<index_t>(k, 1)});
+  a.fill_normal(rng, 0.0, 1.0);
+  bt.fill_normal(rng, 0.0, 1.0);
+  for (const double beta_d : {0.0, 1.0, 2.0}) {
+    const T alpha = static_cast<T>(1.25);
+    const T beta = static_cast<T>(beta_d);
+    Tensor c0({std::max<index_t>(m, 1), std::max<index_t>(n, 1)});
+    Rng crng(7);
+    c0.fill_normal(crng, 0.0, 1.0);
+    Tensor got = c0, want = c0;
+    gemm_nt<T>(m, n, k, alpha, a.data(), k, bt.data(), k, beta, got.data(), n);
+    scalar_gemm_nt<T>(m, n, k, alpha, a.data(), k, bt.data(), k, beta,
+                      want.data(), n);
+    for (index_t i = 0; i < got.size(); ++i) {
+      ASSERT_EQ(got[i], want[i]) << "m=" << m << " n=" << n << " k=" << k
+                                 << " beta=" << beta_d << " i=" << i;
+    }
+  }
+}
+
+TEST(Gemm, NtPanelBitEqualsScalar) {
+  // n straddles the 8-wide panel: below (5), exact (8, 16), panel+tail
+  // (9, 23, 33); k odd/even exercises the unroll-2 remainder.
+  for (const auto [m, n, k] :
+       {std::tuple<index_t, index_t, index_t>{1, 5, 7},
+        {3, 8, 4},
+        {2, 9, 5},
+        {4, 16, 1},
+        {5, 23, 12},
+        {7, 33, 9},
+        {1, 64, 10}}) {
+    check_nt_bit_equal<float, TensorF>(m, n, k);
+    check_nt_bit_equal<double, TensorD>(m, n, k);
+  }
+}
+
 TEST(Gemm, AlphaBetaAccumulate) {
   const index_t m = 2, n = 2, k = 2;
   TensorD a({m, k}, 1.0), b({k, n}, 1.0), c({m, n}, 10.0);
