@@ -4,6 +4,7 @@
 // Run:  ./train_fno --width 12 --modes 12 --layers 4 --epochs 50
 //                   --in 10 --out 5 --samples 8 --grid 32
 //                   [--dataset path.tds] [--save model.tnn] [--load model.tnn]
+//                   [--checkpoint ckpt.tnn --checkpoint-every 10 --resume]
 #include <cstdio>
 #include <string>
 
@@ -110,7 +111,23 @@ int main(int argc, char** argv) {
   tc.scheduler_step = args.get_int("scheduler-step", 100);
   tc.scheduler_gamma = args.get_double("scheduler-gamma", 0.5);
   tc.verbose = args.get_flag("verbose", true);
+  // Crash-safe training: periodic atomic checkpoints, resume, and
+  // NaN-loss recovery (restore + LR backoff) are all on the trainer.
+  tc.checkpoint_path = args.get("checkpoint", "");
+  tc.checkpoint_every = args.get_int("checkpoint-every", 0);
+  tc.resume = args.get_flag("resume");
+  tc.lr_backoff = args.get_double("lr-backoff", 0.5);
+  tc.max_recoveries = args.get_int("max-recoveries", 3);
   const fno::TrainResult result = fno::train_fno(model, loader, tc);
+  if (result.start_epoch > 0) {
+    std::printf("resumed from epoch %lld\n",
+                static_cast<long long>(result.start_epoch));
+  }
+  if (result.recoveries > 0) {
+    std::printf("%s %lld non-finite-loss event(s) by restore + LR backoff\n",
+                result.aborted ? "aborted after" : "recovered",
+                static_cast<long long>(result.recoveries));
+  }
   std::printf("trained %lld epochs in %.1fs (%.2fs/epoch)\n",
               static_cast<long long>(tc.epochs), result.total_seconds,
               result.total_seconds / static_cast<double>(tc.epochs));

@@ -17,7 +17,12 @@
 #     zero-steady-state-allocation contract holds
 #     (infer/steady_state_allocs == 0), and the BENCH_inference.json schema
 #     is well formed.
-#  5. Optionally (TURBFNO_TIER1_SANITIZE=1), an AddressSanitizer + UBSan
+#  5. A fault-injection smoke: examples/robust_smoke corrupts a checkpoint
+#     (loader must reject it and bump robust/corrupt_rejected) and forces a
+#     divergent hybrid rollout (guard must trip, trajectory must stay
+#     finite, PDE fallback windows must appear); the exported robust/*
+#     counters are asserted.
+#  6. Optionally (TURBFNO_TIER1_SANITIZE=1), an AddressSanitizer + UBSan
 #     build of the test suite in a sibling build dir, with ctest run once.
 #
 # Usage: scripts/check_tier1.sh [build-dir]   (default: build)
@@ -115,6 +120,22 @@ assert d["counters"]["infer/steady_state_allocs"] == 0, \
 assert d["gauges"]["infer/arena_bytes"] > 0, "arena gauge missing"
 EOF
 
+# Fault-injection smoke: corrupt checkpoints rejected, divergent rollouts
+# detected and degraded to the PDE. robust_smoke exits non-zero on any failed
+# expectation; the counters prove the events flowed through the obs registry.
+ROBUST_METRICS="$BUILD_DIR/check_tier1_robust_metrics.json"
+rm -f "$ROBUST_METRICS"
+(cd "$BUILD_DIR" && ./examples/robust_smoke \
+    --metrics-out check_tier1_robust_metrics.json > /dev/null)
+python3 - "$ROBUST_METRICS" <<'EOF'
+import json, sys
+c = json.load(open(sys.argv[1]))["counters"]
+assert c["robust/corrupt_rejected"] >= 2, "corrupt checkpoints were not rejected"
+assert c["robust/guard_trips"] >= 1, "rollout guard never tripped"
+assert c["robust/fallback_windows"] >= 1, "no PDE fallback windows recorded"
+assert c["robust/checkpoint_writes"] >= 1, "no atomic checkpoint writes recorded"
+EOF
+
 if [[ "${TURBFNO_TIER1_SANITIZE:-0}" == "1" ]]; then
   ASAN_DIR="$BUILD_DIR-asan"
   cmake -B "$ASAN_DIR" -S . -DTURBFNO_SANITIZE=ON -DTURBFNO_BUILD_BENCH=OFF \
@@ -124,4 +145,4 @@ if [[ "${TURBFNO_TIER1_SANITIZE:-0}" == "1" ]]; then
       -j "$(nproc)"
 fi
 
-echo "check_tier1: OK (tests passed at 1 and 4 threads, determinism dumps identical, metrics JSON valid: $METRICS, perf smoke JSON valid: $PERF_JSON, inference smoke JSON valid: $INFER_JSON)"
+echo "check_tier1: OK (tests passed at 1 and 4 threads, determinism dumps identical, metrics JSON valid: $METRICS, perf smoke JSON valid: $PERF_JSON, inference smoke JSON valid: $INFER_JSON, fault-injection smoke valid: $ROBUST_METRICS)"

@@ -21,13 +21,14 @@ std::vector<FieldSnapshot> advance_timed(Propagator& propagator,
 }
 
 void append(History& history, RolloutResult& result,
-            std::vector<FieldSnapshot>&& produced, const std::string& name,
+            std::vector<FieldSnapshot>&& produced,
+            std::vector<SnapshotMetrics>&& metrics, const std::string& name,
             index_t max_history) {
-  for (auto& snap : produced) {
-    result.metrics.push_back(compute_metrics(snap));
+  for (std::size_t i = 0; i < produced.size(); ++i) {
+    result.metrics.push_back(metrics[i]);
     result.producer.push_back(name);
-    history.push_back(snap);
-    result.trajectory.push_back(std::move(snap));
+    history.push_back(produced[i]);
+    result.trajectory.push_back(std::move(produced[i]));
     while (static_cast<index_t>(history.size()) > max_history) {
       history.pop_front();
     }
@@ -46,6 +47,12 @@ HybridScheduler::HybridScheduler(Propagator& fno, Propagator& pde,
   TURB_CHECK_MSG(config_.fno_snapshots > 0 || config_.pde_snapshots > 0,
                  "at least one window must be non-empty");
   TURB_CHECK(config_.max_history >= fno.min_history());
+  if (config_.guard.enabled) {
+    TURB_CHECK_MSG(config_.pde_snapshots > 0 ||
+                       config_.guard.cooldown_snapshots > 0,
+                   "guarded pure-FNO rollouts need guard.cooldown_snapshots "
+                   "> 0 (no pde window to fall back to otherwise)");
+  }
 }
 
 RolloutResult HybridScheduler::run(const History& seed,
@@ -57,6 +64,7 @@ RolloutResult HybridScheduler::run(const History& seed,
                    "seed shorter than the FNO input window");
   }
 
+  const RolloutGuard guard(config_.guard);
   History history = seed;
   RolloutResult result;
   result.trajectory.reserve(static_cast<std::size_t>(total_snapshots));
@@ -72,7 +80,47 @@ RolloutResult HybridScheduler::run(const History& seed,
       continue;
     }
     const index_t count = std::min(window, total_snapshots - produced);
-    append(history, result, advance_timed(*active, history, count),
+    std::vector<FieldSnapshot> snaps = advance_timed(*active, history, count);
+    std::vector<SnapshotMetrics> metrics = compute_metrics(snaps);
+
+    if (fno_turn && config_.guard.enabled) {
+      GuardTrip trip = GuardTrip::none;
+      double value = 0.0;
+      std::size_t bad = 0;
+      for (std::size_t i = 0; i < snaps.size(); ++i) {
+        trip = guard.check(snaps[i], metrics[i], &value);
+        if (trip != GuardTrip::none) {
+          bad = i;
+          break;
+        }
+      }
+      if (trip != GuardTrip::none) {
+        // Discard the whole window (even its pre-trip snapshots: the model
+        // was already leaving the attractor) and degrade to the PDE for a
+        // cool-down, after which the FNO gets its turn back.
+        obs::counter("robust/guard_trips").add();
+        result.guard_events.push_back(
+            {static_cast<index_t>(result.trajectory.size()), snaps[bad].t,
+             trip, value});
+        const index_t cooldown = config_.guard.cooldown_snapshots > 0
+                                     ? config_.guard.cooldown_snapshots
+                                     : config_.pde_snapshots;
+        const index_t fb_count =
+            std::min(cooldown, total_snapshots - produced);
+        std::vector<FieldSnapshot> fb_snaps =
+            advance_timed(*pde_, history, fb_count);
+        std::vector<SnapshotMetrics> fb_metrics = compute_metrics(fb_snaps);
+        append(history, result, std::move(fb_snaps), std::move(fb_metrics),
+               pde_->name() + "_fallback", config_.max_history);
+        obs::counter("robust/fallback_windows").add();
+        obs::counter("robust/fallback_snapshots").add(fb_count);
+        produced += fb_count;
+        fno_turn = config_.fno_snapshots > 0;
+        continue;
+      }
+    }
+
+    append(history, result, std::move(snaps), std::move(metrics),
            active->name(), config_.max_history);
     produced += count;
     if (config_.fno_snapshots > 0 && config_.pde_snapshots > 0) {
@@ -85,6 +133,11 @@ RolloutResult HybridScheduler::run(const History& seed,
 RolloutResult run_single(Propagator& propagator, const History& seed,
                          index_t total_snapshots) {
   TURB_CHECK(total_snapshots >= 1);
+  TURB_CHECK_MSG(!seed.empty(), "empty seed history");
+  TURB_CHECK_MSG(
+      static_cast<index_t>(seed.size()) >= propagator.min_history(),
+      "seed holds " << seed.size() << " snapshots but " << propagator.name()
+                    << " needs " << propagator.min_history());
   History history = seed;
   RolloutResult result;
   // Advance in modest windows so the rolling history stays bounded.
@@ -92,7 +145,10 @@ RolloutResult run_single(Propagator& propagator, const History& seed,
   index_t produced = 0;
   while (produced < total_snapshots) {
     const index_t count = std::min(window, total_snapshots - produced);
-    append(history, result, advance_timed(propagator, history, count),
+    std::vector<FieldSnapshot> snaps =
+        advance_timed(propagator, history, count);
+    std::vector<SnapshotMetrics> metrics = compute_metrics(snaps);
+    append(history, result, std::move(snaps), std::move(metrics),
            propagator.name(), /*max_history=*/64);
     produced += count;
   }

@@ -13,6 +13,7 @@
 
 #include "core/metrics.hpp"
 #include "core/propagator.hpp"
+#include "core/rollout_guard.hpp"
 
 namespace turb::core {
 
@@ -21,12 +22,23 @@ struct HybridConfig {
   index_t pde_snapshots = 5;  ///< solver window length (0 = pure FNO)
   bool start_with_fno = true; ///< which propagator opens the alternation
   index_t max_history = 64;   ///< rolling-history truncation
+  /// Optional divergence guard over FNO windows (disabled by default; with
+  /// the guard off — or on but untripped — the rollout is bitwise identical
+  /// to the unguarded scheduler). A tripped FNO window is discarded and
+  /// replaced by a PDE cool-down, recorded as "<pde>_fallback" in
+  /// RolloutResult::producer and as a GuardEvent.
+  GuardConfig guard;
 };
 
 struct RolloutResult {
   std::vector<FieldSnapshot> trajectory;  ///< produced snapshots, in order
   std::vector<SnapshotMetrics> metrics;   ///< diagnostics per snapshot
   std::vector<std::string> producer;      ///< which propagator made each one
+  std::vector<GuardEvent> guard_events;   ///< discarded-window trips, in order
+
+  [[nodiscard]] index_t guard_trips() const {
+    return static_cast<index_t>(guard_events.size());
+  }
 };
 
 class HybridScheduler {
@@ -46,6 +58,7 @@ class HybridScheduler {
 };
 
 /// Convenience: single-propagator rollout with metrics (pure PDE / pure FNO).
+/// The seed must be non-empty and at least the propagator's min_history.
 RolloutResult run_single(Propagator& propagator, const History& seed,
                          index_t total_snapshots);
 

@@ -35,10 +35,13 @@ struct TurbulenceDataset {
   }
 };
 
-/// Serialise to the binary .tds format (magic "TDS1", little-endian).
+/// Serialise to the binary .tds format (magic "TDS2", little-endian,
+/// CRC-32 trailer, atomic tmp + rename write).
 void save_dataset(const std::string& path, const TurbulenceDataset& dataset);
 
-/// Load a .tds file.
+/// Load a .tds file (TDS2 or legacy TDS1). Header extents are validated
+/// against the file size before any allocation; corrupt files throw
+/// CheckError and increment `robust/corrupt_rejected`.
 TurbulenceDataset load_dataset(const std::string& path);
 
 }  // namespace turb::data

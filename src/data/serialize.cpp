@@ -1,90 +1,168 @@
+#include <algorithm>
 #include <cstdint>
 #include <fstream>
 
 #include "data/dataset.hpp"
+#include "obs/obs.hpp"
+#include "util/atomic_file.hpp"
+#include "util/checksum.hpp"
 #include "util/common.hpp"
 
 namespace turb::data {
 
 namespace {
 
-constexpr char kMagic[4] = {'T', 'D', 'S', '1'};
+constexpr char kMagicV1[4] = {'T', 'D', 'S', '1'};
+constexpr char kMagicV2[4] = {'T', 'D', 'S', '2'};
 
-template <typename T>
-void write_pod(std::ofstream& os, T v) {
-  os.write(reinterpret_cast<const char*>(&v), sizeof(T));
+// Caps on header extents: generous for any real ensemble, small enough that
+// a corrupt header cannot overflow index_t or demand absurd allocations
+// before the size cross-check below rejects it.
+constexpr std::int64_t kMaxExtent = std::int64_t{1} << 30;
+
+[[noreturn]] void reject(const std::string& path, const std::string& what) {
+  obs::counter("robust/corrupt_rejected").add();
+  throw CheckError("corrupt dataset " + path + ": " + what);
 }
 
-template <typename T>
-T read_pod(std::ifstream& is) {
-  T v{};
-  is.read(reinterpret_cast<char*>(&v), sizeof(T));
-  TURB_CHECK_MSG(is.good(), "truncated dataset file");
-  return v;
-}
+class CheckedReader {
+ public:
+  CheckedReader(std::ifstream& is, const std::string& path,
+                std::uint64_t body_bytes, util::Crc32* crc)
+      : is_(&is), path_(&path), remaining_(body_bytes), crc_(crc) {}
 
-void write_tensor(std::ofstream& os, const TensorF& t) {
-  os.write(reinterpret_cast<const char*>(t.data()),
-           static_cast<std::streamsize>(t.size() * sizeof(float)));
-}
+  void read(void* dst, std::uint64_t n, const char* what) {
+    if (n > remaining_) {
+      reject(*path_, std::string("truncated (") + what + ")");
+    }
+    is_->read(static_cast<char*>(dst), static_cast<std::streamsize>(n));
+    if (!is_->good()) reject(*path_, std::string("truncated (") + what + ")");
+    if (crc_ != nullptr) crc_->update(dst, n);
+    remaining_ -= n;
+  }
 
-TensorF read_tensor(std::ifstream& is, Shape shape) {
-  TensorF t(std::move(shape));
-  is.read(reinterpret_cast<char*>(t.data()),
-          static_cast<std::streamsize>(t.size() * sizeof(float)));
-  TURB_CHECK_MSG(is.good(), "truncated dataset payload");
-  return t;
-}
+  template <typename T>
+  T read_pod(const char* what) {
+    T v{};
+    read(&v, sizeof(T), what);
+    return v;
+  }
+
+  [[nodiscard]] std::uint64_t remaining() const { return remaining_; }
+
+ private:
+  std::ifstream* is_;
+  const std::string* path_;
+  std::uint64_t remaining_;
+  util::Crc32* crc_;
+};
 
 }  // namespace
 
 void save_dataset(const std::string& path, const TurbulenceDataset& dataset) {
   TURB_CHECK(dataset.num_samples() >= 1);
-  std::ofstream os(path, std::ios::binary);
-  TURB_CHECK_MSG(os.good(), "cannot open " << path << " for writing");
-  os.write(kMagic, 4);
-  write_pod<double>(os, dataset.dt_tc);
-  write_pod<std::int64_t>(os, dataset.num_samples());
+  util::AtomicFileWriter out(path);
+  util::Crc32 crc;
+  const auto put = [&out, &crc](const void* p, std::size_t n) {
+    out.write(p, n);
+    crc.update(p, n);
+  };
+  const auto put_pod = [&put](auto v) { put(&v, sizeof(v)); };
+
+  out.write(kMagicV2, 4);
+  put_pod(dataset.dt_tc);
+  put_pod(static_cast<std::int64_t>(dataset.num_samples()));
   const SnapshotSeries& first = dataset.samples.front();
-  write_pod<std::int64_t>(os, first.steps());
-  write_pod<std::int64_t>(os, first.height());
-  write_pod<std::int64_t>(os, first.width());
+  put_pod(static_cast<std::int64_t>(first.steps()));
+  put_pod(static_cast<std::int64_t>(first.height()));
+  put_pod(static_cast<std::int64_t>(first.width()));
   for (const SnapshotSeries& s : dataset.samples) {
     TURB_CHECK_MSG(s.steps() == first.steps() &&
                        s.height() == first.height() &&
                        s.width() == first.width(),
                    "inhomogeneous ensemble");
-    for (const double t : s.times) write_pod<double>(os, t);
-    write_tensor(os, s.u1);
-    write_tensor(os, s.u2);
-    write_tensor(os, s.omega);
+    for (const double t : s.times) put_pod(t);
+    put(s.u1.data(), static_cast<std::size_t>(s.u1.size()) * sizeof(float));
+    put(s.u2.data(), static_cast<std::size_t>(s.u2.size()) * sizeof(float));
+    put(s.omega.data(),
+        static_cast<std::size_t>(s.omega.size()) * sizeof(float));
   }
-  TURB_CHECK_MSG(os.good(), "write failed for " << path);
+  const std::uint32_t checksum = crc.value();
+  out.write(&checksum, sizeof(checksum));
+  out.commit();
 }
 
 TurbulenceDataset load_dataset(const std::string& path) {
   std::ifstream is(path, std::ios::binary);
   TURB_CHECK_MSG(is.good(), "cannot open " << path);
+  is.seekg(0, std::ios::end);
+  const auto file_size = static_cast<std::uint64_t>(is.tellg());
+  is.seekg(0, std::ios::beg);
+  // Magic + dt + four extents is the smallest possible header.
+  if (file_size < 4 + 8 + 4 * 8) {
+    reject(path, "file shorter than any valid dataset");
+  }
+
   char magic[4];
   is.read(magic, 4);
-  TURB_CHECK_MSG(is.good() && std::equal(magic, magic + 4, kMagic),
-                 path << " is not a TDS1 dataset");
+  const bool v2 = is.good() && std::equal(magic, magic + 4, kMagicV2);
+  const bool v1 = is.good() && std::equal(magic, magic + 4, kMagicV1);
+  if (!v1 && !v2) reject(path, "not a TDS1/TDS2 dataset");
+
+  util::Crc32 crc;
+  CheckedReader r(is, path, file_size - 4 - (v2 ? 4 : 0),
+                  v2 ? &crc : nullptr);
+
   TurbulenceDataset dataset;
-  dataset.dt_tc = read_pod<double>(is);
-  const auto n_samples = read_pod<std::int64_t>(is);
-  const auto steps = read_pod<std::int64_t>(is);
-  const auto h = read_pod<std::int64_t>(is);
-  const auto w = read_pod<std::int64_t>(is);
-  TURB_CHECK(n_samples >= 1 && steps >= 1 && h >= 1 && w >= 1);
+  dataset.dt_tc = r.read_pod<double>("dt header");
+  const auto n_samples = r.read_pod<std::int64_t>("sample count");
+  const auto steps = r.read_pod<std::int64_t>("step count");
+  const auto h = r.read_pod<std::int64_t>("height");
+  const auto w = r.read_pod<std::int64_t>("width");
+  if (n_samples < 1 || steps < 1 || h < 1 || w < 1 ||
+      n_samples > kMaxExtent || steps > kMaxExtent || h > kMaxExtent ||
+      w > kMaxExtent) {
+    reject(path, "implausible header extents");
+  }
+  // Cross-check the header against the bytes actually present before any
+  // field allocation: steps·h·w products on a corrupt file used to demand
+  // multi-GB allocations (or overflow index_t) inside read_tensor.
+  const auto u_steps = static_cast<unsigned __int128>(steps);
+  const unsigned __int128 field_elems =
+      u_steps * static_cast<unsigned __int128>(h) *
+      static_cast<unsigned __int128>(w);
+  if (field_elems > static_cast<unsigned __int128>(kMaxExtent)) {
+    reject(path, "implausible snapshot volume");
+  }
+  const unsigned __int128 per_sample =
+      u_steps * sizeof(double) + 3 * field_elems * sizeof(float);
+  const unsigned __int128 expected =
+      static_cast<unsigned __int128>(n_samples) * per_sample;
+  if (expected != r.remaining()) {
+    reject(path, "header extents disagree with file size");
+  }
+
   dataset.samples.reserve(static_cast<std::size_t>(n_samples));
   for (std::int64_t s = 0; s < n_samples; ++s) {
     SnapshotSeries series;
     series.times.resize(static_cast<std::size_t>(steps));
-    for (auto& t : series.times) t = read_pod<double>(is);
-    series.u1 = read_tensor(is, {steps, h, w});
-    series.u2 = read_tensor(is, {steps, h, w});
-    series.omega = read_tensor(is, {steps, h, w});
+    r.read(series.times.data(),
+           static_cast<std::uint64_t>(steps) * sizeof(double), "times");
+    const Shape shape{steps, h, w};
+    for (TensorF* field : {&series.u1, &series.u2, &series.omega}) {
+      TensorF t(shape);
+      r.read(t.data(), static_cast<std::uint64_t>(t.size()) * sizeof(float),
+             "field payload");
+      *field = std::move(t);
+    }
     dataset.samples.push_back(std::move(series));
+  }
+  if (r.remaining() != 0) reject(path, "trailing bytes after payload");
+  if (v2) {
+    std::uint32_t stored = 0;
+    is.read(reinterpret_cast<char*>(&stored), sizeof(stored));
+    if (!is.good()) reject(path, "truncated (checksum)");
+    if (stored != crc.value()) reject(path, "CRC mismatch");
   }
   return dataset;
 }

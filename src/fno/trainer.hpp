@@ -12,7 +12,7 @@ namespace turb::fno {
 
 struct EpochStats {
   index_t epoch = 0;
-  double train_loss = 0.0;  // mean relative-L2 over training batches
+  double train_loss = 0.0;  // mean relative-L2 over the *finite* batches
   double lr = 0.0;
   double seconds = 0.0;
   // Wall-time split of the epoch (data loading / forward / backward /
@@ -21,6 +21,10 @@ struct EpochStats {
   double forward_seconds = 0.0;
   double backward_seconds = 0.0;
   double optimizer_seconds = 0.0;
+  /// True when the epoch was cut short by a non-finite batch loss: the
+  /// offending batch never reached the optimizer or this mean, and the model
+  /// was restored to its last good state.
+  bool recovered = false;
 };
 
 struct TrainConfig {
@@ -34,11 +38,37 @@ struct TrainConfig {
   /// verbose line, if any, is printed). Lets callers stream metrics or
   /// implement early stopping without patching the loop.
   std::function<void(const EpochStats&)> on_epoch_end;
+
+  // --- fault handling (robustness layer) ---------------------------------
+  /// Detect a non-finite (NaN/inf) batch loss *before* it reaches the
+  /// optimizer: the epoch is cut short, weights and optimizer state are
+  /// restored from the last good epoch, and the learning rate is scaled by
+  /// `lr_backoff`. After `max_recoveries` such events the run aborts with
+  /// the last good weights in place (never NaN weights). The finite-loss
+  /// path is untouched, so unguarded runs stay bitwise identical.
+  bool abort_on_nonfinite = true;
+  double lr_backoff = 0.5;     ///< LR multiplier applied per recovery
+  index_t max_recoveries = 3;  ///< recoveries before aborting the run
+
+  // --- checkpoint / resume ------------------------------------------------
+  /// When non-empty, checkpoints (weights + {"epoch","lr","train_loss"}
+  /// metadata) are written here atomically every `checkpoint_every` epochs
+  /// and once at the end of training (checkpoint_every == 0 → final only).
+  std::string checkpoint_path;
+  index_t checkpoint_every = 0;
+  /// Load `checkpoint_path` if it exists before training and fast-forward
+  /// the epoch counter and LR schedule to the stored epoch. Adam moments
+  /// restart from zero (the checkpoint stores weights only).
+  bool resume = false;
 };
 
 struct TrainResult {
   std::vector<EpochStats> history;
   double total_seconds = 0.0;
+  index_t start_epoch = 0;          ///< non-zero when resumed mid-schedule
+  index_t recoveries = 0;           ///< non-finite events recovered
+  bool aborted = false;             ///< gave up after max_recoveries
+  index_t checkpoints_written = 0;  ///< on-disk checkpoint saves
   [[nodiscard]] double final_train_loss() const {
     return history.empty() ? 0.0 : history.back().train_loss;
   }

@@ -59,6 +59,19 @@ void Adam::zero_grad() {
   for (Parameter* p : params_) p->grad.zero();
 }
 
+void Adam::set_state(State state) {
+  TURB_CHECK_MSG(state.m.size() == m_.size() && state.v.size() == v_.size(),
+                 "optimizer state holds " << state.m.size() << " moments for "
+                                          << m_.size() << " parameters");
+  for (std::size_t i = 0; i < m_.size(); ++i) {
+    TURB_CHECK(state.m[i].size() == m_[i].size() &&
+               state.v[i].size() == v_[i].size());
+  }
+  m_ = std::move(state.m);
+  v_ = std::move(state.v);
+  t_ = state.t;
+}
+
 void StepLR::step() {
   ++epoch_;
   optimizer_->set_lr(current_lr());

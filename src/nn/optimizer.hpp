@@ -31,6 +31,17 @@ class Adam {
   void set_lr(double lr) { config_.lr = lr; }
   [[nodiscard]] long step_count() const { return t_; }
 
+  /// Full optimizer state (moments + step count) for exact restore after a
+  /// fault — the trainer snapshots this alongside the weights so recovery
+  /// from a non-finite loss resumes bitwise from the last good epoch.
+  struct State {
+    std::vector<TensorF> m;
+    std::vector<TensorF> v;
+    long t = 0;
+  };
+  [[nodiscard]] State state() const { return {m_, v_, t_}; }
+  void set_state(State state);
+
  private:
   std::vector<Parameter*> params_;
   Config config_;

@@ -1,9 +1,19 @@
 // Binary (de)serialisation of model parameters.
 //
-// Format "TNN1": little-endian; header, then per parameter: name length +
-// bytes, rank, extents, float32 payload. Loading matches parameters by name
-// and validates shapes, so a checkpoint survives refactors that reorder
-// layers but not ones that rename or resize them.
+// Format "TNN2" (written): little-endian; magic, then per parameter: name
+// length + bytes, rank, extents, float32 payload; then scalar metadata; then
+// a CRC-32 of everything between the magic and the checksum. Writes go
+// through a tmp-file + rename (util::AtomicFileWriter), so a crash mid-save
+// never leaves a plausible-looking truncated checkpoint at the final path.
+//
+// Loading accepts both TNN2 and the legacy "TNN1" (same layout, no CRC).
+// Every header field is bounds-validated against the bytes actually present
+// before any allocation, duplicate parameter entries are rejected, and the
+// model is only written after the whole file — including the CRC — has been
+// verified (strong exception guarantee). Parameters are matched by name and
+// shape-checked, so a checkpoint survives refactors that reorder layers but
+// not ones that rename or resize them. Rejected-as-corrupt loads increment
+// the `robust/corrupt_rejected` counter.
 #pragma once
 
 #include <map>

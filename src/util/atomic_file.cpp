@@ -1,0 +1,51 @@
+#include "util/atomic_file.hpp"
+
+#include <cstdio>
+
+#include "util/common.hpp"
+
+#ifndef _WIN32
+#include <unistd.h>
+#endif
+
+namespace turb::util {
+
+AtomicFileWriter::AtomicFileWriter(std::string path)
+    : path_(std::move(path)), tmp_path_(tmp_path_for(path_)) {
+  file_ = std::fopen(tmp_path_.c_str(), "wb");
+  TURB_CHECK_MSG(file_ != nullptr,
+                 "cannot open " << tmp_path_ << " for writing");
+}
+
+AtomicFileWriter::~AtomicFileWriter() {
+  if (!committed_) {
+    if (file_ != nullptr) std::fclose(file_);
+    std::remove(tmp_path_.c_str());
+  }
+}
+
+void AtomicFileWriter::write(const void* data, std::size_t n) {
+  TURB_CHECK_MSG(file_ != nullptr, "write after commit on " << tmp_path_);
+  if (n == 0) return;
+  TURB_CHECK_MSG(std::fwrite(data, 1, n, file_) == n,
+                 "write failed for " << tmp_path_);
+}
+
+void AtomicFileWriter::commit() {
+  TURB_CHECK_MSG(file_ != nullptr && !committed_,
+                 "double commit on " << tmp_path_);
+  bool ok = std::fflush(file_) == 0;
+#ifndef _WIN32
+  ok = ok && fsync(fileno(file_)) == 0;
+#endif
+  ok = std::fclose(file_) == 0 && ok;
+  file_ = nullptr;
+  if (!ok || std::rename(tmp_path_.c_str(), path_.c_str()) != 0) {
+    std::remove(tmp_path_.c_str());
+    committed_ = true;  // nothing left to clean up in the destructor
+    TURB_CHECK_MSG(false, "atomic commit failed for " << path_);
+  }
+  committed_ = true;
+}
+
+}  // namespace turb::util

@@ -1,0 +1,47 @@
+// Crash-safe file writes: write to `<path>.tmp`, fsync, then rename onto the
+// final path. A reader therefore only ever sees the complete previous file or
+// the complete new one — a crash mid-write leaves at worst a stale `.tmp`
+// that no loader opens. POSIX rename(2) within one directory is atomic; on
+// platforms without fsync the flush-before-rename is best effort.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+namespace turb::util {
+
+class AtomicFileWriter {
+ public:
+  /// Opens `<path>.tmp` for binary writing. Throws CheckError on failure.
+  explicit AtomicFileWriter(std::string path);
+
+  /// Removes the tmp file if commit() was never reached; the final path is
+  /// left exactly as it was before construction.
+  ~AtomicFileWriter();
+
+  AtomicFileWriter(const AtomicFileWriter&) = delete;
+  AtomicFileWriter& operator=(const AtomicFileWriter&) = delete;
+
+  /// Appends `n` bytes. Throws CheckError on I/O failure.
+  void write(const void* data, std::size_t n);
+
+  /// Flush + fsync + close + rename onto the final path. Throws CheckError
+  /// if any step fails (the tmp file is removed in that case).
+  void commit();
+
+  [[nodiscard]] const std::string& tmp_path() const { return tmp_path_; }
+
+  /// The tmp name `save` uses for `path` (exposed for crash-simulation
+  /// tests).
+  [[nodiscard]] static std::string tmp_path_for(const std::string& path) {
+    return path + ".tmp";
+  }
+
+ private:
+  std::string path_;
+  std::string tmp_path_;
+  std::FILE* file_ = nullptr;
+  bool committed_ = false;
+};
+
+}  // namespace turb::util

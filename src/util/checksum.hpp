@@ -1,0 +1,29 @@
+// CRC-32 (IEEE 802.3, polynomial 0xEDB88320) over byte streams.
+//
+// Used by the v2 checkpoint formats (TNN2/TDS2) to detect torn or bit-flipped
+// files before any of their content is trusted. Incremental: feed sections as
+// they are written/read and finalise once at the end.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace turb::util {
+
+class Crc32 {
+ public:
+  void update(const void* data, std::size_t n) noexcept;
+
+  /// Finalised checksum of everything fed so far (does not reset state).
+  [[nodiscard]] std::uint32_t value() const noexcept { return ~state_; }
+
+  void reset() noexcept { state_ = 0xFFFFFFFFu; }
+
+ private:
+  std::uint32_t state_ = 0xFFFFFFFFu;
+};
+
+/// One-shot convenience.
+[[nodiscard]] std::uint32_t crc32(const void* data, std::size_t n) noexcept;
+
+}  // namespace turb::util
