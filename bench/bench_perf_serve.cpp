@@ -1,0 +1,302 @@
+// Serving-layer benchmark → BENCH_serving.json.
+//
+// Drives serve::RolloutServer at increasing concurrency (1 / 64 / 512
+// sessions), recording throughput, nearest-rank p50/p99 session latency,
+// and micro-batch occupancy per level. Two correctness exercises ride
+// along and gate the exit code:
+//
+//   * bitwise verification — a small session set is served concurrently at
+//     thread-pool widths 1 and 4 and compared byte-for-byte against
+//     sequential core::run_single rollouts of the same seeds;
+//   * admission saturation — a deliberately tiny queue is overfilled and
+//     the reject-with-reason path (serve/admission_rejects) asserted.
+//
+// Flags (besides the shared --threads / --metrics-out / --serve-*):
+//   --out F       JSON output path (default BENCH_serving.json)
+//   --grid N      square grid extent for synthetic seeds (default 32)
+//   --steps N     snapshots per session (default 10)
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "analysis/stats.hpp"
+#include "core/fno_propagator.hpp"
+#include "core/hybrid.hpp"
+#include "core/rollout_api.hpp"
+#include "fno/fno.hpp"
+#include "lbm/initializer.hpp"
+#include "obs/obs.hpp"
+#include "serve/server.hpp"
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+using namespace turb;
+
+constexpr double kDtSnap = 0.01;
+
+fno::FnoConfig bench_fno_config() {
+  fno::FnoConfig cfg;
+  cfg.in_channels = 4;
+  cfg.out_channels = 2;
+  cfg.width = 8;
+  cfg.n_layers = 2;
+  cfg.n_modes = {8, 8};
+  cfg.lifting_channels = 16;
+  cfg.projection_channels = 16;
+  return cfg;
+}
+
+/// Synthetic seed: `n` random-vortex snapshots (no PDE spin-up — the server
+/// cost under test does not depend on how physical the seed is).
+core::History make_seed_history(index_t grid, index_t n, std::uint64_t seed) {
+  core::History history;
+  for (index_t i = 0; i < n; ++i) {
+    Rng rng(seed * 1000 + static_cast<std::uint64_t>(i));
+    const auto field = lbm::random_vortex_velocity(grid, grid, 4.0, 1.0, rng);
+    core::FieldSnapshot snap;
+    snap.t = kDtSnap * static_cast<double>(i);
+    snap.u1 = field.u1;
+    snap.u2 = field.u2;
+    history.push_back(std::move(snap));
+  }
+  return history;
+}
+
+bool bitwise_equal(const core::RolloutResult& a,
+                   const core::RolloutResult& b) {
+  if (a.trajectory.size() != b.trajectory.size()) return false;
+  for (std::size_t k = 0; k < a.trajectory.size(); ++k) {
+    const auto& sa = a.trajectory[k];
+    const auto& sb = b.trajectory[k];
+    if (sa.t != sb.t) return false;
+    for (index_t i = 0; i < sa.u1.size(); ++i) {
+      if (sa.u1[i] != sb.u1[i] || sa.u2[i] != sb.u2[i]) return false;
+    }
+  }
+  return true;
+}
+
+struct LevelStats {
+  index_t sessions = 0;
+  double wall_seconds = 0.0;
+  double snapshots_per_s = 0.0;
+  double latency_p50_ms = 0.0;
+  double latency_p99_ms = 0.0;
+  double batch_occupancy_mean = 0.0;
+  double engine_pool_buckets = 0.0;
+};
+
+std::string json_number(double v, const char* fmt = "%.3f") {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), fmt, v);
+  return buf;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  apply_runtime_flags(args);
+  const std::string out_path = args.get("out", "BENCH_serving.json");
+  const auto grid = static_cast<index_t>(args.get_int("grid", 32));
+  const auto steps = static_cast<index_t>(args.get_int("steps", 10));
+
+  const fno::FnoConfig cfg = bench_fno_config();
+  Rng rng(3);
+  fno::Fno model(cfg, rng);
+  core::FnoPropagator fno_prop(model, analysis::Normalizer(0.0, 1.0),
+                               kDtSnap);
+
+  // --- bitwise verification at pool widths 1 and 4 -----------------------
+  bool bitwise_ok = true;
+  {
+    const index_t n_verify = 4;
+    for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+      ThreadPool::Scope scope(threads);
+      std::vector<core::RolloutResult> sequential;
+      for (index_t s = 0; s < n_verify; ++s) {
+        sequential.push_back(core::run_single(
+            fno_prop,
+            make_seed_history(grid, cfg.in_channels,
+                              static_cast<std::uint64_t>(s) + 7),
+            steps));
+      }
+      serve::ServeConfig sc = serve::ServeConfig::from_runtime();
+      sc.batch_window = 3;  // force a full chunk plus a tail chunk
+      serve::RolloutServer server(fno_prop, nullptr, sc);
+      std::vector<serve::SessionId> ids;
+      for (index_t s = 0; s < n_verify; ++s) {
+        core::RolloutRequest request;
+        request.seed = make_seed_history(grid, cfg.in_channels,
+                                         static_cast<std::uint64_t>(s) + 7);
+        request.steps = steps;
+        const serve::Admission admission = server.submit(std::move(request));
+        if (!admission.admitted) {
+          std::cerr << "verify submit rejected: " << admission.reason << "\n";
+          return 1;
+        }
+        ids.push_back(admission.id);
+      }
+      server.drain();
+      for (index_t s = 0; s < n_verify; ++s) {
+        if (!bitwise_equal(sequential[static_cast<std::size_t>(s)],
+                           server.take(ids[static_cast<std::size_t>(s)]))) {
+          std::cerr << "BITWISE MISMATCH: session " << s << " at threads "
+                    << threads << "\n";
+          bitwise_ok = false;
+        }
+      }
+    }
+  }
+  std::printf("bitwise concurrent == sequential (threads 1,4): %s\n",
+              bitwise_ok ? "true" : "FALSE");
+
+  // --- throughput levels -------------------------------------------------
+  const std::vector<index_t> levels = {1, 64, 512};
+  std::vector<LevelStats> level_stats;
+  for (const index_t level : levels) {
+    serve::ServeConfig sc = serve::ServeConfig::from_runtime();
+    sc.queue_capacity = std::max(sc.queue_capacity, level);
+    serve::RolloutServer server(fno_prop, nullptr, sc);
+
+    // Seeds are prepared outside the timed region; the measured wall time is
+    // submission + scheduling + inference + retirement.
+    std::vector<core::RolloutRequest> requests;
+    requests.reserve(static_cast<std::size_t>(level));
+    for (index_t s = 0; s < level; ++s) {
+      core::RolloutRequest request;
+      request.seed = make_seed_history(grid, cfg.in_channels,
+                                       static_cast<std::uint64_t>(s) + 100);
+      request.steps = steps;
+      requests.push_back(std::move(request));
+    }
+
+    const auto t0 = std::chrono::steady_clock::now();
+    for (auto& request : requests) {
+      const serve::Admission admission = server.submit(std::move(request));
+      if (!admission.admitted) {
+        std::cerr << "level " << level
+                  << " submit rejected: " << admission.reason << "\n";
+        return 1;
+      }
+    }
+    server.drain();
+    const double wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+
+    const serve::RolloutServer::LatencyStats latency =
+        server.latency_stats();
+    LevelStats stats;
+    stats.sessions = level;
+    stats.wall_seconds = wall;
+    stats.snapshots_per_s =
+        static_cast<double>(level * steps) / std::max(wall, 1e-12);
+    stats.latency_p50_ms = latency.p50_ms;
+    stats.latency_p99_ms = latency.p99_ms;
+    stats.batch_occupancy_mean = server.mean_batch_occupancy();
+    stats.engine_pool_buckets =
+        static_cast<double>(server.engine_pool().size());
+    level_stats.push_back(stats);
+    std::printf(
+        "sessions %5lld  wall %8.3f s  %10.1f snap/s  p50 %8.2f ms  "
+        "p99 %8.2f ms  occupancy %5.2f\n",
+        static_cast<long long>(level), wall, stats.snapshots_per_s,
+        stats.latency_p50_ms, stats.latency_p99_ms,
+        stats.batch_occupancy_mean);
+  }
+
+  // --- admission saturation ---------------------------------------------
+  const std::int64_t rejects_before =
+      obs::counter("serve/admission_rejects").value();
+  index_t rejected = 0;
+  {
+    serve::ServeConfig sc;
+    sc.queue_capacity = 2;
+    serve::RolloutServer server(fno_prop, nullptr, sc);
+    for (index_t s = 0; s < 4; ++s) {
+      core::RolloutRequest request;
+      request.seed = make_seed_history(grid, cfg.in_channels,
+                                       static_cast<std::uint64_t>(s) + 900);
+      request.steps = 1;
+      if (!server.submit(std::move(request)).admitted) ++rejected;
+    }
+    server.drain();
+  }
+  const std::int64_t reject_counter_delta =
+      obs::counter("serve/admission_rejects").value() - rejects_before;
+  std::printf("saturation: 4 submits into cap-2 queue -> %lld rejected\n",
+              static_cast<long long>(rejected));
+  if (rejected < 1 || reject_counter_delta != rejected) {
+    std::cerr << "admission saturation exercise failed\n";
+    return 1;
+  }
+
+  const std::int64_t steady_allocs =
+      obs::counter("infer/steady_state_allocs").value();
+  std::printf("steady-state allocs: %lld\n",
+              static_cast<long long>(steady_allocs));
+
+  // --- JSON trajectory record -------------------------------------------
+  std::ofstream out(out_path);
+  if (!out.good()) {
+    std::cerr << "bench_perf_serve: cannot write " << out_path << "\n";
+    return 1;
+  }
+  out << "{\n  \"version\": 1,\n  \"bench\": \"bench_perf_serve\",\n";
+  out << "  \"grid\": " << grid << ",\n  \"steps\": " << steps << ",\n";
+  out << "  \"bitwise_identical_threads_1_4\": "
+      << (bitwise_ok ? "true" : "false") << ",\n";
+  out << "  \"levels\": [\n";
+  for (std::size_t i = 0; i < level_stats.size(); ++i) {
+    const LevelStats& s = level_stats[i];
+    out << "    { \"sessions\": " << s.sessions << ", \"wall_seconds\": "
+        << json_number(s.wall_seconds, "%.4f") << ", \"snapshots_per_s\": "
+        << json_number(s.snapshots_per_s, "%.1f")
+        << ", \"latency_p50_ms\": " << json_number(s.latency_p50_ms)
+        << ", \"latency_p99_ms\": " << json_number(s.latency_p99_ms)
+        << ", \"batch_occupancy_mean\": "
+        << json_number(s.batch_occupancy_mean)
+        << ", \"engine_pool_buckets\": "
+        << json_number(s.engine_pool_buckets, "%.0f") << " }"
+        << (i + 1 < level_stats.size() ? ",\n" : "\n");
+  }
+  out << "  ],\n";
+  out << "  \"saturation\": { \"submitted\": 4, \"queue_capacity\": 2, "
+      << "\"rejected\": " << rejected << " },\n";
+  out << "  \"counters\": {\n";
+  out << "    \"serve/admitted\": " << obs::counter("serve/admitted").value()
+      << ",\n";
+  out << "    \"serve/completed\": "
+      << obs::counter("serve/completed").value() << ",\n";
+  out << "    \"serve/admission_rejects\": "
+      << obs::counter("serve/admission_rejects").value() << ",\n";
+  out << "    \"serve/batches\": " << obs::counter("serve/batches").value()
+      << ",\n";
+  out << "    \"serve/batched_streams\": "
+      << obs::counter("serve/batched_streams").value() << ",\n";
+  out << "    \"serve/snapshots\": "
+      << obs::counter("serve/snapshots").value() << ",\n";
+  out << "    \"infer/steady_state_allocs\": " << steady_allocs << "\n";
+  out << "  },\n";
+  out << "  \"gauges\": {\n";
+  out << "    \"serve/engine_pool_buckets\": "
+      << json_number(obs::gauge("serve/engine_pool_buckets").value(), "%.0f")
+      << ",\n";
+  out << "    \"serve/latency_p50_ms\": "
+      << json_number(obs::gauge("serve/latency_p50_ms").value()) << ",\n";
+  out << "    \"serve/latency_p99_ms\": "
+      << json_number(obs::gauge("serve/latency_p99_ms").value()) << "\n";
+  out << "  }\n}\n";
+  out.close();
+  std::cout << "wrote " << out_path << "\n";
+  return bitwise_ok ? 0 : 1;
+}

@@ -29,9 +29,12 @@ struct ScaleParams {
   index_t modes = 12;        ///< stands for the paper's 32 modes
 };
 
-/// Parse the shared runtime flags (--threads, --metrics-out) every bench
-/// accepts. Call first thing in main() — each Fig/Table bench then emits a
-/// machine-readable phase breakdown (obs::dump_json) alongside its CSV.
+/// Parse the shared runtime flags every bench accepts: --threads,
+/// --metrics-out, and the serving knobs --serve-max-sessions /
+/// --serve-queue-cap / --serve-batch-window (consumed by
+/// serve::ServeConfig::from_runtime; see util/cli.hpp). Call first thing in
+/// main() — each Fig/Table bench then emits a machine-readable phase
+/// breakdown (obs::dump_json) alongside its CSV.
 /// Also records --json-out for benches that support a JSON result dump.
 void init(int argc, const char* const* argv);
 

@@ -13,20 +13,28 @@
 # and batched-rollout cost per snapshot, and records the engine's
 # zero-steady-state-allocation counters and arena footprint.
 #
+# bench_perf_serve drives the concurrent serving layer at 1/64/512 sessions,
+# recording throughput, p50/p99 session latency, and micro-batch occupancy;
+# it self-verifies that concurrent sessions are bitwise identical to
+# sequential rollouts at pool widths 1 and 4 and that an overfilled queue
+# rejects with serve/admission_rejects.
+#
 # Usage: scripts/bench_perf.sh [build-dir]   (default: build)
 #   BENCH_OUT=path           spectral output JSON (default: BENCH_spectral.json)
 #   BENCH_INFER_OUT=path     inference output JSON (default: BENCH_inference.json)
-#   TURBFNO_BENCH_ARGS=...   extra flags for both benches
+#   BENCH_SERVE_OUT=path     serving output JSON (default: BENCH_serving.json)
+#   TURBFNO_BENCH_ARGS=...   extra flags for all benches
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build}"
 OUT="${BENCH_OUT:-BENCH_spectral.json}"
 INFER_OUT="${BENCH_INFER_OUT:-BENCH_inference.json}"
+SERVE_OUT="${BENCH_SERVE_OUT:-BENCH_serving.json}"
 
 cmake -B "$BUILD_DIR" -S . > /dev/null
-cmake --build "$BUILD_DIR" -j --target bench_perf_train bench_perf_infer \
-    > /dev/null
+cmake --build "$BUILD_DIR" -j \
+    --target bench_perf_train bench_perf_infer bench_perf_serve > /dev/null
 
 # shellcheck disable=SC2086  # intentional word splitting of extra args
 "$BUILD_DIR/bench/bench_perf_train" --out "$OUT" ${TURBFNO_BENCH_ARGS:-}
@@ -58,4 +66,24 @@ print(f"bench_perf: engine forward {s:.2f}x vs training-path forward, "
       f"steady-state allocations {allocs}, "
       f"arena {d['gauges']['infer/arena_bytes'] / 1e6:.1f} MB")
 EOF
-echo "bench_perf: OK ($OUT, $INFER_OUT)"
+
+# shellcheck disable=SC2086
+"$BUILD_DIR/bench/bench_perf_serve" --out "$SERVE_OUT" \
+    ${TURBFNO_BENCH_ARGS:-}
+
+python3 - "$SERVE_OUT" <<'EOF'
+import json, sys
+d = json.load(open(sys.argv[1]))
+assert d["version"] == 1, "unexpected schema version"
+assert d["bitwise_identical_threads_1_4"] is True, \
+    "concurrent serving diverged from sequential rollouts"
+assert d["counters"]["infer/steady_state_allocs"] == 0, \
+    "serving allocated in engine steady state"
+assert d["saturation"]["rejected"] >= 1, "admission control never rejected"
+top = max(d["levels"], key=lambda lvl: lvl["sessions"])
+print(f"bench_perf: serving {top['sessions']} sessions at "
+      f"{top['snapshots_per_s']:.0f} snapshots/s, "
+      f"p50 {top['latency_p50_ms']:.1f} ms / p99 {top['latency_p99_ms']:.1f} ms, "
+      f"batch occupancy {top['batch_occupancy_mean']:.1f}")
+EOF
+echo "bench_perf: OK ($OUT, $INFER_OUT, $SERVE_OUT)"

@@ -17,12 +17,17 @@
 #     zero-steady-state-allocation contract holds
 #     (infer/steady_state_allocs == 0), and the BENCH_inference.json schema
 #     is well formed.
-#  5. A fault-injection smoke: examples/robust_smoke corrupts a checkpoint
+#  5. A serving smoke: bench_perf_serve at a tiny grid/horizon, asserting
+#     concurrent sessions are bitwise identical to sequential rollouts at
+#     pool widths 1 and 4, the saturation exercise bumps
+#     serve/admission_rejects, and warm sessions keep
+#     infer/steady_state_allocs at 0.
+#  6. A fault-injection smoke: examples/robust_smoke corrupts a checkpoint
 #     (loader must reject it and bump robust/corrupt_rejected) and forces a
 #     divergent hybrid rollout (guard must trip, trajectory must stay
 #     finite, PDE fallback windows must appear); the exported robust/*
 #     counters are asserted.
-#  6. Optionally (TURBFNO_TIER1_SANITIZE=1), an AddressSanitizer + UBSan
+#  7. Optionally (TURBFNO_TIER1_SANITIZE=1), an AddressSanitizer + UBSan
 #     build of the test suite in a sibling build dir, with ctest run once.
 #
 # Usage: scripts/check_tier1.sh [build-dir]   (default: build)
@@ -120,6 +125,40 @@ assert d["counters"]["infer/steady_state_allocs"] == 0, \
 assert d["gauges"]["infer/arena_bytes"] > 0, "arena gauge missing"
 EOF
 
+# Serving smoke: a small bench_perf_serve run must report concurrent ==
+# sequential bitwise identity, at least one admission rejection from the
+# saturation exercise, and zero engine steady-state allocations across warm
+# sessions. Throughput numbers are non-gating here.
+SERVE_JSON="$BUILD_DIR/check_tier1_bench_serving.json"
+SERVE_METRICS="$BUILD_DIR/check_tier1_serve_metrics.json"
+rm -f "$SERVE_JSON" "$SERVE_METRICS"
+"$BUILD_DIR/bench/bench_perf_serve" --grid 16 --steps 2 --out "$SERVE_JSON" \
+    --metrics-out "$SERVE_METRICS" > /dev/null
+for name in '"serve/round"' '"serve/batch"' '"serve/admission_rejects"' \
+            '"serve/batches"' '"serve/queue_depth"'; do
+  grep -q "$name" "$SERVE_METRICS" || {
+    echo "check_tier1: metric $name missing from $SERVE_METRICS" >&2
+    exit 1
+  }
+done
+python3 - "$SERVE_JSON" <<'EOF'
+import json, sys
+d = json.load(open(sys.argv[1]))
+assert d["version"] == 1, "unexpected BENCH_serving schema version"
+assert d["bitwise_identical_threads_1_4"] is True, \
+    "concurrent serving diverged from sequential rollouts"
+levels = {lvl["sessions"] for lvl in d["levels"]}
+assert 512 in levels, "512-session level missing"
+for lvl in d["levels"]:
+    assert "latency_p50_ms" in lvl and "latency_p99_ms" in lvl, \
+        "latency percentiles missing"
+    assert "batch_occupancy_mean" in lvl, "occupancy stats missing"
+assert d["counters"]["serve/admission_rejects"] >= 1, \
+    "admission control never rejected"
+assert d["counters"]["infer/steady_state_allocs"] == 0, \
+    "serving allocated in engine steady state"
+EOF
+
 # Fault-injection smoke: corrupt checkpoints rejected, divergent rollouts
 # detected and degraded to the PDE. robust_smoke exits non-zero on any failed
 # expectation; the counters prove the events flowed through the obs registry.
@@ -145,4 +184,4 @@ if [[ "${TURBFNO_TIER1_SANITIZE:-0}" == "1" ]]; then
       -j "$(nproc)"
 fi
 
-echo "check_tier1: OK (tests passed at 1 and 4 threads, determinism dumps identical, metrics JSON valid: $METRICS, perf smoke JSON valid: $PERF_JSON, inference smoke JSON valid: $INFER_JSON, fault-injection smoke valid: $ROBUST_METRICS)"
+echo "check_tier1: OK (tests passed at 1 and 4 threads, determinism dumps identical, metrics JSON valid: $METRICS, perf smoke JSON valid: $PERF_JSON, inference smoke JSON valid: $INFER_JSON, serving smoke JSON valid: $SERVE_JSON, fault-injection smoke valid: $ROBUST_METRICS)"

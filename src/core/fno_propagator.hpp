@@ -32,9 +32,26 @@ class FnoPropagator final : public Propagator {
 
   /// Allocation-free variant: writes `count` snapshots into `out`, reusing
   /// its tensors when the shapes already match (the steady state of a hybrid
-  /// run). advance() wraps this.
+  /// run). advance() wraps this. Delegates to advance_batched_into with a
+  /// single stream on the propagator's own engine.
   void advance_into(const History& history, index_t count,
                     std::vector<FieldSnapshot>& out);
+
+  /// Micro-batched serving path: advance `n_streams` independent histories
+  /// through one engine planned for (2·n_streams, C_in, H, W) — stream s's
+  /// velocity components ride batch entries 2s and 2s+1. Because every
+  /// engine kernel processes batch entries on independent slabs, each
+  /// stream's snapshots are bitwise identical to a solo advance_into() of
+  /// the same history, for any co-batch composition. Streams may request
+  /// heterogeneous `counts` (each >= 1); shorter streams simply stop
+  /// extracting while the batch finishes the longest request. All histories
+  /// must share the grid resolution. `engine` is typically drawn from a
+  /// serve::EnginePool bucket; it must wrap the same model as this
+  /// propagator.
+  void advance_batched_into(infer::InferenceEngine& engine,
+                            const History* const* histories,
+                            const index_t* counts, index_t n_streams,
+                            std::vector<FieldSnapshot>* const* outs);
 
   [[nodiscard]] double dt_snap() const override { return dt_snap_; }
   [[nodiscard]] index_t min_history() const override {
@@ -44,6 +61,9 @@ class FnoPropagator final : public Propagator {
 
   /// The planned executor (arena introspection for benches/tests).
   [[nodiscard]] infer::InferenceEngine& engine() { return engine_; }
+
+  /// The wrapped model (serve::EnginePool builds batch-width engines on it).
+  [[nodiscard]] fno::Fno& model() const { return *model_; }
 
  private:
   fno::Fno* model_;

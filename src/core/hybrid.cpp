@@ -2,23 +2,18 @@
 
 #include <cmath>
 
+#include "core/rollout_api.hpp"
 #include "obs/obs.hpp"
 
 namespace turb::core {
 
 namespace {
 
-/// Wall time and snapshot count per propagator window, keyed by the
-/// propagator's name() — "hybrid/fno_window" vs "hybrid/pde_window" is the
-/// cost split the speedup claims of the paper's §VI-C rest on.
-std::vector<FieldSnapshot> advance_timed(Propagator& propagator,
-                                         const History& history,
-                                         index_t count) {
-  obs::ScopedTimer span(
-      obs::timer("hybrid/" + propagator.name() + "_window"));
-  obs::counter("hybrid/" + propagator.name() + "_snapshots").add(count);
-  return propagator.advance(history, count);
-}
+// Wall time and snapshot count per propagator window
+// ("hybrid/<name>_window" / "hybrid/<name>_snapshots") — the cost split the
+// speedup claims of the paper's §VI-C rest on — is shared with the request
+// API: detail::advance_timed (core/rollout_api.hpp).
+using detail::advance_timed;
 
 void append(History& history, RolloutResult& result,
             std::vector<FieldSnapshot>&& produced,
@@ -64,7 +59,7 @@ RolloutResult HybridScheduler::run(const History& seed,
                    "seed shorter than the FNO input window");
   }
 
-  const RolloutGuard guard(config_.guard);
+  RolloutGuard guard(config_.guard);
   History history = seed;
   RolloutResult result;
   result.trajectory.reserve(static_cast<std::size_t>(total_snapshots));
@@ -132,27 +127,13 @@ RolloutResult HybridScheduler::run(const History& seed,
 
 RolloutResult run_single(Propagator& propagator, const History& seed,
                          index_t total_snapshots) {
-  TURB_CHECK(total_snapshots >= 1);
-  TURB_CHECK_MSG(!seed.empty(), "empty seed history");
-  TURB_CHECK_MSG(
-      static_cast<index_t>(seed.size()) >= propagator.min_history(),
-      "seed holds " << seed.size() << " snapshots but " << propagator.name()
-                    << " needs " << propagator.min_history());
-  History history = seed;
-  RolloutResult result;
-  // Advance in modest windows so the rolling history stays bounded.
-  const index_t window = 16;
-  index_t produced = 0;
-  while (produced < total_snapshots) {
-    const index_t count = std::min(window, total_snapshots - produced);
-    std::vector<FieldSnapshot> snaps =
-        advance_timed(propagator, history, count);
-    std::vector<SnapshotMetrics> metrics = compute_metrics(snaps);
-    append(history, result, std::move(snaps), std::move(metrics),
-           propagator.name(), /*max_history=*/64);
-    produced += count;
-  }
-  return result;
+  // Compat shim over the unified request API: the default RolloutRequest
+  // (window 16, max_history 64, guard off) reproduces the historical
+  // behavior of this entry point byte for byte.
+  RolloutRequest request;
+  request.seed = seed;
+  request.steps = total_snapshots;
+  return run_rollout(propagator, request);
 }
 
 }  // namespace turb::core

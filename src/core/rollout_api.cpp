@@ -1,0 +1,142 @@
+#include "core/rollout_api.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "obs/obs.hpp"
+
+namespace turb::core {
+
+namespace detail {
+
+std::vector<FieldSnapshot> advance_timed(Propagator& propagator,
+                                         const History& history,
+                                         index_t count) {
+  obs::ScopedTimer span(
+      obs::timer("hybrid/" + propagator.name() + "_window"));
+  obs::counter("hybrid/" + propagator.name() + "_snapshots").add(count);
+  return propagator.advance(history, count);
+}
+
+}  // namespace detail
+
+RolloutStream::RolloutStream(RolloutRequest request, Propagator* primary,
+                             Propagator* fallback)
+    : request_(std::move(request)),
+      primary_(primary),
+      fallback_(fallback),
+      guard_(request_.guard) {
+  TURB_CHECK(primary_ != nullptr);
+  TURB_CHECK(request_.steps >= 1);
+  TURB_CHECK(request_.window >= 1);
+  TURB_CHECK(request_.batch_hint >= 1);
+  TURB_CHECK_MSG(!request_.seed.empty(), "empty seed history");
+  TURB_CHECK_MSG(
+      static_cast<index_t>(request_.seed.size()) >= primary_->min_history(),
+      "seed holds " << request_.seed.size() << " snapshots but "
+                    << primary_->name() << " needs "
+                    << primary_->min_history());
+  TURB_CHECK(request_.max_history >= primary_->min_history());
+  TURB_CHECK_MSG(!request_.guard.enabled || fallback_ != nullptr,
+                 "guarded rollout requests need a fallback propagator");
+  history_ = request_.seed;
+  result_.trajectory.reserve(static_cast<std::size_t>(request_.steps));
+}
+
+index_t RolloutStream::next_window() const {
+  index_t w = std::min(request_.window, request_.steps - produced_);
+  if (cooldown_left_ > 0) w = std::min(w, cooldown_left_);
+  return std::max<index_t>(w, 0);
+}
+
+void RolloutStream::append_window(std::vector<FieldSnapshot>&& snaps,
+                                  std::vector<SnapshotMetrics>&& metrics,
+                                  const std::string& producer) {
+  const auto count = static_cast<index_t>(snaps.size());
+  for (std::size_t i = 0; i < snaps.size(); ++i) {
+    result_.metrics.push_back(metrics[i]);
+    result_.producer.push_back(producer);
+    history_.push_back(snaps[i]);
+    result_.trajectory.push_back(std::move(snaps[i]));
+    while (static_cast<index_t>(history_.size()) > request_.max_history) {
+      history_.pop_front();
+    }
+  }
+  produced_ += count;
+}
+
+void RolloutStream::accept_primary_window(
+    std::vector<FieldSnapshot>&& snaps) {
+  TURB_CHECK_MSG(!degraded(), "primary window fed to a degraded stream");
+  TURB_CHECK_MSG(static_cast<index_t>(snaps.size()) == next_window(),
+                 "window holds " << snaps.size() << " snapshots, expected "
+                                 << next_window());
+  std::vector<SnapshotMetrics> metrics = compute_metrics(snaps);
+
+  if (request_.guard.enabled) {
+    GuardTrip trip = GuardTrip::none;
+    double value = 0.0;
+    std::size_t bad = 0;
+    for (std::size_t i = 0; i < snaps.size(); ++i) {
+      trip = guard_.check(snaps[i], metrics[i], &value);
+      if (trip != GuardTrip::none) {
+        bad = i;
+        break;
+      }
+    }
+    if (trip != GuardTrip::none) {
+      // Discard the whole window (the model was already leaving the
+      // attractor before the offending snapshot) and hand the stream to the
+      // fallback: for a cool-down when configured, else for good.
+      obs::counter("robust/guard_trips").add();
+      result_.guard_events.push_back(
+          {static_cast<index_t>(result_.trajectory.size()), snaps[bad].t,
+           trip, value});
+      if (request_.guard.cooldown_snapshots > 0) {
+        cooldown_left_ = request_.guard.cooldown_snapshots;
+      } else {
+        degraded_for_good_ = true;
+      }
+      return;
+    }
+  }
+  append_window(std::move(snaps), std::move(metrics), primary_->name());
+}
+
+void RolloutStream::advance_fallback_window() {
+  TURB_CHECK_MSG(fallback_ != nullptr, "stream has no fallback propagator");
+  const index_t count = next_window();
+  TURB_CHECK(count >= 1);
+  std::vector<FieldSnapshot> snaps =
+      detail::advance_timed(*fallback_, history_, count);
+  std::vector<SnapshotMetrics> metrics = compute_metrics(snaps);
+  append_window(std::move(snaps), std::move(metrics),
+                fallback_->name() + "_fallback");
+  obs::counter("robust/fallback_windows").add();
+  obs::counter("robust/fallback_snapshots").add(count);
+  if (cooldown_left_ > 0) cooldown_left_ -= count;
+}
+
+void RolloutStream::step() {
+  TURB_CHECK(!done());
+  if (degraded()) {
+    advance_fallback_window();
+  } else {
+    accept_primary_window(
+        detail::advance_timed(*primary_, history_, next_window()));
+  }
+}
+
+RolloutResult RolloutStream::take_result() {
+  TURB_CHECK_MSG(done(), "take_result on an unfinished stream");
+  return std::move(result_);
+}
+
+RolloutResult run_rollout(Propagator& primary, const RolloutRequest& request,
+                          Propagator* fallback) {
+  RolloutStream stream(request, &primary, fallback);
+  while (!stream.done()) stream.step();
+  return stream.take_result();
+}
+
+}  // namespace turb::core

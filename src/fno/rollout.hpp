@@ -13,6 +13,14 @@
 // Fno::forward by hand (enforced by tests/test_infer.cpp). The Fno&
 // convenience overloads build a throwaway engine; callers stepping many
 // rollouts should hold an InferenceEngine and use the _into variants.
+//
+// DEPRECATED as a public entry point: these tensor-level helpers predate
+// the unified rollout API. New code should build a core::RolloutRequest
+// and call core::run_rollout (one stream) or serve::RolloutServer (many
+// concurrent streams, micro-batched through a shared engine pool) — both
+// add history management, guard fallback, and metrics for free. These
+// helpers remain for raw-tensor callers (no History marshaling) and as
+// the reference the engine-equivalence tests pin against.
 #pragma once
 
 #include "fno/fno.hpp"

@@ -99,6 +99,15 @@ class InferenceEngine {
   /// ping-pong between the two). Valid until the next plan().
   [[nodiscard]] float* pred_buffer(int i) const;
 
+  /// Shift temporal channels in place after a forward: for each of `batch`
+  /// entries, drop the oldest inputs and append the newest predictions
+  /// (`win` holds batch·C_in·frame floats, `pred` batch·C_out·frame). Public
+  /// because external marshalers (FnoPropagator's batched serving path)
+  /// drive forward_raw window-by-window and need the identical slide the
+  /// engine's own rollout drivers use — same copy sequence, same bytes.
+  void slide_window(float* win, const float* pred, index_t batch,
+                    index_t frame) const;
+
   [[nodiscard]] const fno::FnoConfig& config() const { return cfg_; }
   [[nodiscard]] std::size_t arena_bytes() const { return arena_.bytes(); }
   [[nodiscard]] bool planned() const { return planned_; }
@@ -126,8 +135,6 @@ class InferenceEngine {
   void c2c_stage(const cpxf* src, cpxf* dst, const C2cStage& st,
                  bool forward_dir);
   void contract(index_t l, const cpxf* xs, cpxf* ys);
-  void slide_window(float* win, const float* pred, index_t batch,
-                    index_t frame) const;
 
   fno::Fno* model_;
   fno::FnoConfig cfg_;

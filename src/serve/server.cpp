@@ -1,0 +1,312 @@
+#include "serve/server.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "obs/obs.hpp"
+#include "util/cli.hpp"
+
+namespace turb::serve {
+
+namespace {
+
+/// Nearest-rank percentile over an ascending-sorted sample.
+double percentile(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const auto n = static_cast<double>(sorted.size());
+  auto rank = static_cast<std::size_t>(std::ceil(p * n));
+  rank = std::min(std::max<std::size_t>(rank, 1), sorted.size());
+  return sorted[rank - 1];
+}
+
+}  // namespace
+
+ServeConfig ServeConfig::from_runtime() {
+  const ServeRuntimeOptions& opts = serve_runtime_options();
+  ServeConfig cfg;
+  cfg.max_sessions = opts.max_sessions;
+  cfg.queue_capacity = opts.queue_capacity;
+  cfg.batch_window = opts.batch_window;
+  return cfg;
+}
+
+RolloutServer::RolloutServer(core::FnoPropagator& primary,
+                             core::Propagator* fallback, ServeConfig config)
+    : primary_(&primary),
+      fallback_(fallback),
+      config_(config),
+      pool_(primary.model()) {
+  TURB_CHECK(config_.max_sessions >= 1);
+  TURB_CHECK(config_.queue_capacity >= 1);
+  TURB_CHECK(config_.batch_window >= 1);
+}
+
+Admission RolloutServer::reject_locked(const std::string& reason) {
+  obs::counter("serve/admission_rejects").add();
+  Admission a;
+  a.admitted = false;
+  a.reason = reason;
+  return a;
+}
+
+Admission RolloutServer::admit_locked(core::RolloutRequest&& request,
+                                      core::Propagator* primary,
+                                      core::Propagator* fallback, bool solo) {
+  // Admission control validates instead of letting RolloutStream's TURB_CHECK
+  // fire: overload and bad requests are expected server inputs, and a
+  // rejected stream must not take the process down.
+  if (static_cast<index_t>(pending_.size()) >= config_.queue_capacity) {
+    return reject_locked("queue saturated: " +
+                         std::to_string(pending_.size()) + " pending >= cap " +
+                         std::to_string(config_.queue_capacity));
+  }
+  if (request.steps < 1) return reject_locked("request.steps must be >= 1");
+  if (request.window < 1) return reject_locked("request.window must be >= 1");
+  if (request.batch_hint < 1) {
+    return reject_locked("request.batch_hint must be >= 1");
+  }
+  if (request.seed.empty()) return reject_locked("empty seed history");
+  if (static_cast<index_t>(request.seed.size()) < primary->min_history()) {
+    return reject_locked(
+        "seed holds " + std::to_string(request.seed.size()) +
+        " snapshots but " + primary->name() + " needs " +
+        std::to_string(primary->min_history()));
+  }
+  if (request.max_history < primary->min_history()) {
+    return reject_locked("request.max_history below the primary's window");
+  }
+  if (request.guard.enabled && fallback == nullptr) {
+    return reject_locked("guarded request without a fallback propagator");
+  }
+
+  Session session;
+  session.id = next_id_++;
+  session.tag = request.tag;
+  session.solo = solo;
+  session.state = SessionState::queued;
+  session.admitted_at = std::chrono::steady_clock::now();
+  session.stream = std::make_unique<core::RolloutStream>(std::move(request),
+                                                         primary, fallback);
+  const SessionId id = session.id;
+  pending_.push_back(id);
+  sessions_.emplace(id, std::move(session));
+  obs::counter("serve/admitted").add();
+  update_gauges_locked();
+  Admission a;
+  a.admitted = true;
+  a.id = id;
+  return a;
+}
+
+Admission RolloutServer::submit(core::RolloutRequest request) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return admit_locked(std::move(request), primary_, fallback_,
+                      /*solo=*/false);
+}
+
+Admission RolloutServer::submit_with_propagator(core::RolloutRequest request,
+                                                core::Propagator& primary,
+                                                core::Propagator* fallback) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return admit_locked(std::move(request), &primary, fallback, /*solo=*/true);
+}
+
+bool RolloutServer::step() {
+  TURB_TRACE_SCOPE("serve/round");
+  std::lock_guard<std::mutex> lock(mu_);
+
+  while (static_cast<index_t>(active_.size()) < config_.max_sessions &&
+         !pending_.empty()) {
+    const SessionId id = pending_.front();
+    pending_.pop_front();
+    sessions_.at(id).state = SessionState::active;
+    active_.push_back(id);
+  }
+
+  // Partition the active set: ready server-primary streams micro-batch per
+  // grid bucket; solo and degraded streams advance one window on their own
+  // propagators. Admission order is preserved everywhere, so the schedule —
+  // and the engine-pool bucket sequence — is deterministic.
+  std::map<std::pair<index_t, index_t>, std::vector<core::RolloutStream*>>
+      ready;
+  std::vector<core::RolloutStream*> alone;
+  for (const SessionId id : active_) {
+    core::RolloutStream* stream = sessions_.at(id).stream.get();
+    if (stream->done()) continue;
+    if (sessions_.at(id).solo || stream->degraded()) {
+      alone.push_back(stream);
+      continue;
+    }
+    const TensorD& field = stream->history().back().u1;
+    ready[{field.dim(0), field.dim(1)}].push_back(stream);
+  }
+
+  const index_t cin = primary_->model().config().in_channels;
+  for (auto& [grid, streams] : ready) {
+    for (std::size_t base = 0; base < streams.size();
+         base += static_cast<std::size_t>(config_.batch_window)) {
+      const auto k = static_cast<index_t>(
+          std::min(streams.size() - base,
+                   static_cast<std::size_t>(config_.batch_window)));
+      std::vector<const core::History*> histories(
+          static_cast<std::size_t>(k));
+      std::vector<index_t> counts(static_cast<std::size_t>(k));
+      std::vector<std::vector<core::FieldSnapshot>> windows(
+          static_cast<std::size_t>(k));
+      std::vector<std::vector<core::FieldSnapshot>*> outs(
+          static_cast<std::size_t>(k));
+      index_t snapshots = 0;
+      for (index_t i = 0; i < k; ++i) {
+        core::RolloutStream* stream = streams[base + i];
+        histories[i] = &stream->history();
+        counts[i] = stream->next_window();
+        outs[i] = &windows[i];
+        snapshots += counts[i];
+      }
+      {
+        TURB_TRACE_SCOPE("serve/batch");
+        infer::InferenceEngine& engine =
+            pool_.acquire(2 * k, cin, grid.first, grid.second);
+        primary_->advance_batched_into(engine, histories.data(),
+                                       counts.data(), k, outs.data());
+      }
+      batches_ += 1;
+      batched_streams_ += k;
+      obs::counter("serve/batches").add();
+      obs::counter("serve/batched_streams").add(k);
+      obs::counter("serve/snapshots").add(snapshots);
+      obs::gauge("serve/batch_occupancy").set(static_cast<double>(k));
+      for (index_t i = 0; i < k; ++i) {
+        streams[base + i]->accept_primary_window(std::move(windows[i]));
+      }
+    }
+  }
+
+  for (core::RolloutStream* stream : alone) {
+    const index_t count = stream->next_window();
+    stream->step();
+    obs::counter("serve/snapshots").add(count);
+  }
+
+  // Retire finished sessions, keeping the active set in admission order.
+  const auto now = std::chrono::steady_clock::now();
+  std::vector<SessionId> still_active;
+  still_active.reserve(active_.size());
+  for (const SessionId id : active_) {
+    Session& session = sessions_.at(id);
+    if (!session.stream->done()) {
+      still_active.push_back(id);
+      continue;
+    }
+    session.state = SessionState::finished;
+    session.latency_seconds =
+        std::chrono::duration<double>(now - session.admitted_at).count();
+    completed_latencies_.push_back(session.latency_seconds);
+    obs::counter("serve/completed").add();
+    obs::timer("serve/session_latency").record(session.latency_seconds);
+  }
+  active_ = std::move(still_active);
+  update_gauges_locked();
+  return !active_.empty() || !pending_.empty();
+}
+
+void RolloutServer::drain() {
+  while (step()) {
+  }
+}
+
+void RolloutServer::update_gauges_locked() {
+  obs::gauge("serve/queue_depth")
+      .set(static_cast<double>(pending_.size()));
+  obs::gauge("serve/active_sessions")
+      .set(static_cast<double>(active_.size()));
+  if (!completed_latencies_.empty()) {
+    std::vector<double> sorted = completed_latencies_;
+    std::sort(sorted.begin(), sorted.end());
+    obs::gauge("serve/latency_p50_ms").set(percentile(sorted, 0.50) * 1e3);
+    obs::gauge("serve/latency_p99_ms").set(percentile(sorted, 0.99) * 1e3);
+  }
+}
+
+std::vector<SessionId> RolloutServer::finished() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<SessionId> out;
+  for (const auto& [id, session] : sessions_) {
+    if (session.state == SessionState::finished) out.push_back(id);
+  }
+  return out;
+}
+
+core::RolloutResult RolloutServer::take(SessionId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = sessions_.find(id);
+  TURB_CHECK_MSG(it != sessions_.end(), "unknown session id " << id);
+  TURB_CHECK_MSG(it->second.state == SessionState::finished,
+                 "session " << id << " has not finished");
+  core::RolloutResult result = it->second.stream->take_result();
+  sessions_.erase(it);
+  return result;
+}
+
+SessionSnapshot RolloutServer::snapshot_locked(const Session& s) const {
+  SessionSnapshot snap;
+  snap.id = s.id;
+  snap.tag = s.tag;
+  snap.state = s.state;
+  snap.produced = s.stream->produced();
+  snap.steps = s.stream->request().steps;
+  snap.degraded = s.stream->degraded();
+  snap.guard_trips = s.stream->result().guard_trips();
+  snap.latency_seconds = s.latency_seconds;
+  return snap;
+}
+
+SessionSnapshot RolloutServer::snapshot(SessionId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = sessions_.find(id);
+  TURB_CHECK_MSG(it != sessions_.end(), "unknown session id " << id);
+  return snapshot_locked(it->second);
+}
+
+std::vector<SessionSnapshot> RolloutServer::snapshots() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<SessionSnapshot> out;
+  out.reserve(sessions_.size());
+  for (const auto& [id, session] : sessions_) {
+    out.push_back(snapshot_locked(session));
+  }
+  return out;
+}
+
+index_t RolloutServer::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<index_t>(pending_.size());
+}
+
+index_t RolloutServer::active_sessions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<index_t>(active_.size());
+}
+
+RolloutServer::LatencyStats RolloutServer::latency_stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  LatencyStats stats;
+  stats.completed = static_cast<std::int64_t>(completed_latencies_.size());
+  if (completed_latencies_.empty()) return stats;
+  std::vector<double> sorted = completed_latencies_;
+  std::sort(sorted.begin(), sorted.end());
+  stats.p50_ms = percentile(sorted, 0.50) * 1e3;
+  stats.p99_ms = percentile(sorted, 0.99) * 1e3;
+  stats.max_ms = sorted.back() * 1e3;
+  return stats;
+}
+
+double RolloutServer::mean_batch_occupancy() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return batches_ == 0 ? 0.0
+                       : static_cast<double>(batched_streams_) /
+                             static_cast<double>(batches_);
+}
+
+}  // namespace turb::serve

@@ -56,6 +56,14 @@ double CliArgs::get_double(const std::string& key, double fallback) const {
   return v;
 }
 
+namespace {
+
+ServeRuntimeOptions g_serve_options;
+
+}  // namespace
+
+const ServeRuntimeOptions& serve_runtime_options() { return g_serve_options; }
+
 void apply_runtime_flags(const CliArgs& args) {
   if (args.has("threads")) {
     const long threads = args.get_int("threads", 0);
@@ -64,6 +72,16 @@ void apply_runtime_flags(const CliArgs& args) {
   }
   const std::string metrics = args.get("metrics-out", "");
   if (!metrics.empty()) obs::dump_json_at_exit(metrics);
+
+  const auto serve_knob = [&args](const char* key, long* slot) {
+    if (!args.has(key)) return;
+    const long v = args.get_int(key, 0);
+    TURB_CHECK_MSG(v >= 1, "--" << key << " must be >= 1, got " << v);
+    *slot = v;
+  };
+  serve_knob("serve-max-sessions", &g_serve_options.max_sessions);
+  serve_knob("serve-queue-cap", &g_serve_options.queue_capacity);
+  serve_knob("serve-batch-window", &g_serve_options.batch_window);
 }
 
 bool CliArgs::get_flag(const std::string& key, bool fallback) const {

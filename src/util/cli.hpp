@@ -36,11 +36,26 @@ class CliArgs {
   std::vector<std::string> positional_;
 };
 
+/// Serving-layer knobs shared by every driver that builds a
+/// serve::RolloutServer (ServeConfig::from_runtime() reads them).
+struct ServeRuntimeOptions {
+  long max_sessions = 256;     ///< --serve-max-sessions
+  long queue_capacity = 1024;  ///< --serve-queue-cap
+  long batch_window = 16;      ///< --serve-batch-window
+};
+
+/// Process-wide snapshot of the --serve-* flags (defaults until
+/// apply_runtime_flags sees them).
+[[nodiscard]] const ServeRuntimeOptions& serve_runtime_options();
+
 /// Apply the process-wide flags every driver (examples, benches) shares:
-///   --threads N       size the global thread pool (must precede the first
-///                     parallel region; errors otherwise)
-///   --metrics-out F   dump the obs metrics registry to F as JSON when the
-///                     process exits normally
+///   --threads N             size the global thread pool (must precede the
+///                           first parallel region; errors otherwise)
+///   --metrics-out F         dump the obs metrics registry to F as JSON when
+///                           the process exits normally
+///   --serve-max-sessions N  serving: concurrently active session bound
+///   --serve-queue-cap N     serving: pending-queue admission bound
+///   --serve-batch-window N  serving: max streams per micro-batched forward
 void apply_runtime_flags(const CliArgs& args);
 
 }  // namespace turb

@@ -1,0 +1,426 @@
+// Serving layer: unified rollout requests, micro-batched concurrent
+// sessions, admission control, and per-stream guard degradation.
+//
+// The load-bearing contract is bitwise reproducibility: N sessions
+// multiplexed through serve::RolloutServer must produce exactly the bytes N
+// sequential core::run_single calls produce, at thread-pool widths 1 and 4,
+// and a session tripping its guard must not perturb its batchmates by a
+// single bit.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analysis/stats.hpp"
+#include "core/fault_injection.hpp"
+#include "core/fno_propagator.hpp"
+#include "core/hybrid.hpp"
+#include "core/pde_propagator.hpp"
+#include "core/rollout_api.hpp"
+#include "fno/fno.hpp"
+#include "lbm/initializer.hpp"
+#include "ns/solver.hpp"
+#include "obs/obs.hpp"
+#include "serve/server.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace turb {
+namespace {
+
+constexpr index_t kGrid = 32;
+constexpr double kDtSnap = 0.01;
+
+std::unique_ptr<ns::NsSolver> make_solver() {
+  ns::NsConfig cfg;
+  cfg.n = kGrid;
+  cfg.viscosity = 1e-3;
+  cfg.dt = 1e-3;
+  return std::make_unique<ns::SpectralNsSolver>(cfg);
+}
+
+core::FieldSnapshot make_seed_snapshot(double t, std::uint64_t seed) {
+  Rng rng(seed);
+  const auto field = lbm::random_vortex_velocity(kGrid, kGrid, 4.0, 1.0, rng);
+  core::FieldSnapshot snap;
+  snap.t = t;
+  snap.u1 = field.u1;
+  snap.u2 = field.u2;
+  return snap;
+}
+
+core::History make_seed_history(index_t n, std::uint64_t seed) {
+  core::History history;
+  history.push_back(make_seed_snapshot(0.0, seed));
+  if (n > 1) {
+    core::PdePropagator pde(make_solver(), kDtSnap);
+    auto more = pde.advance(history, n - 1);
+    for (auto& s : more) history.push_back(std::move(s));
+  }
+  return history;
+}
+
+fno::FnoConfig tiny_fno_config() {
+  fno::FnoConfig cfg;
+  cfg.in_channels = 4;
+  cfg.out_channels = 2;
+  cfg.width = 6;
+  cfg.n_layers = 2;
+  cfg.n_modes = {8, 8};
+  cfg.lifting_channels = 8;
+  cfg.projection_channels = 8;
+  return cfg;
+}
+
+void expect_bitwise_equal(const core::RolloutResult& a,
+                          const core::RolloutResult& b) {
+  ASSERT_EQ(a.trajectory.size(), b.trajectory.size());
+  for (std::size_t k = 0; k < a.trajectory.size(); ++k) {
+    ASSERT_EQ(a.trajectory[k].t, b.trajectory[k].t);
+    ASSERT_EQ(a.producer[k], b.producer[k]);
+    for (index_t i = 0; i < a.trajectory[k].u1.size(); ++i) {
+      ASSERT_EQ(a.trajectory[k].u1[i], b.trajectory[k].u1[i])
+          << "snapshot " << k << " u1[" << i << "]";
+      ASSERT_EQ(a.trajectory[k].u2[i], b.trajectory[k].u2[i])
+          << "snapshot " << k << " u2[" << i << "]";
+    }
+  }
+}
+
+bool all_finite(const core::RolloutResult& result) {
+  for (const auto& snap : result.trajectory) {
+    for (index_t i = 0; i < snap.u1.size(); ++i) {
+      if (!std::isfinite(snap.u1[i]) || !std::isfinite(snap.u2[i])) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+// --- unified request API -------------------------------------------------
+
+TEST(RolloutApi, RunRolloutMatchesLegacyWindowedLoop) {
+  Rng rng(7);
+  fno::Fno model(tiny_fno_config(), rng);
+  core::FnoPropagator fno_prop(model, analysis::Normalizer(0.0, 1.0),
+                               kDtSnap);
+  const core::History seed = make_seed_history(4, 11);
+  const index_t steps = 20;  // spans two window-16 chunks
+
+  // Replica of the historical run_single loop: advance in chunks of 16 with
+  // max_history 64 — the unified API's defaults must reproduce it exactly.
+  core::History history = seed;
+  core::RolloutResult legacy;
+  index_t produced = 0;
+  while (produced < steps) {
+    const index_t count = std::min<index_t>(16, steps - produced);
+    auto snaps = fno_prop.advance(history, count);
+    for (auto& snap : snaps) {
+      history.push_back(snap);
+      legacy.trajectory.push_back(std::move(snap));
+      legacy.producer.push_back("fno");
+      while (static_cast<index_t>(history.size()) > 64) history.pop_front();
+    }
+    produced += count;
+  }
+
+  core::RolloutRequest request;
+  request.seed = seed;
+  request.steps = steps;
+  const core::RolloutResult unified = core::run_rollout(fno_prop, request);
+  expect_bitwise_equal(legacy, unified);
+
+  const core::RolloutResult shim = core::run_single(fno_prop, seed, steps);
+  expect_bitwise_equal(legacy, shim);
+}
+
+TEST(RolloutApi, GuardedRequestNeedsFallback) {
+  core::PdePropagator pde(make_solver(), kDtSnap);
+  core::RolloutRequest request;
+  request.seed = make_seed_history(1, 13);
+  request.steps = 4;
+  request.guard.enabled = true;
+  EXPECT_THROW(core::run_rollout(pde, request), CheckError);
+}
+
+TEST(RolloutApi, CooldownZeroDegradesForGood) {
+  Rng rng(17);
+  fno::Fno model(tiny_fno_config(), rng);
+  core::FnoPropagator fno_prop(model, analysis::Normalizer(0.0, 1.0),
+                               kDtSnap);
+  core::DivergentPropagator divergent(fno_prop, /*healthy_snapshots=*/2,
+                                      core::DivergentPropagator::Mode::nan);
+  core::PdePropagator pde(make_solver(), kDtSnap);
+
+  core::RolloutRequest request;
+  request.seed = make_seed_history(4, 19);
+  request.steps = 10;
+  request.window = 4;
+  request.guard.enabled = true;
+  request.guard.cooldown_snapshots = 0;  // degrade for the remainder
+
+  const core::RolloutResult result =
+      core::run_rollout(divergent, request, &pde);
+  ASSERT_EQ(result.trajectory.size(), 10u);
+  EXPECT_TRUE(all_finite(result));
+  ASSERT_GE(result.guard_trips(), 1);
+  // The first window tripped and was discarded; every produced snapshot
+  // came from the fallback.
+  for (const std::string& producer : result.producer) {
+    EXPECT_EQ(producer, "pde_fallback");
+  }
+}
+
+TEST(RolloutApi, CooldownWindowReturnsToPrimary) {
+  core::PdePropagator healthy(make_solver(), kDtSnap);
+  core::DivergentPropagator divergent(healthy, /*healthy_snapshots=*/1,
+                                      core::DivergentPropagator::Mode::nan);
+  core::PdePropagator fallback(make_solver(), kDtSnap);
+
+  core::RolloutRequest request;
+  request.seed = make_seed_history(1, 23);
+  request.steps = 8;
+  request.window = 2;
+  request.guard.enabled = true;
+  request.guard.cooldown_snapshots = 2;
+
+  const core::RolloutResult result =
+      core::run_rollout(divergent, request, &fallback);
+  ASSERT_EQ(result.trajectory.size(), 8u);
+  EXPECT_TRUE(all_finite(result));
+  ASSERT_GE(result.guard_trips(), 1);
+  // Fallback windows appear, and the primary got another turn after the
+  // cool-down (trips again, so multiple guard events accumulate).
+  EXPECT_GE(result.guard_trips(), 2);
+  for (const std::string& producer : result.producer) {
+    EXPECT_EQ(producer, "pde_fallback");
+  }
+}
+
+TEST(RolloutGuardState, StatsAccumulateCopyAndReset) {
+  core::GuardConfig cfg;
+  cfg.enabled = true;
+  cfg.energy_max = 1e3;
+  core::RolloutGuard guard(cfg);
+
+  core::FieldSnapshot snap = make_seed_snapshot(0.0, 29);
+  const core::SnapshotMetrics metrics = core::compute_metrics(snap);
+  EXPECT_EQ(guard.check(snap, metrics, nullptr), core::GuardTrip::none);
+  EXPECT_EQ(guard.stats().checked, 1);
+  EXPECT_EQ(guard.stats().trips, 0);
+  EXPECT_GT(guard.stats().energy_max_seen, 0.0);
+
+  snap.u1[0] = std::numeric_limits<double>::quiet_NaN();
+  // Re-derive the diagnostics: the guard keys its non-finite verdict on the
+  // metric sums the scheduler hands it, exactly as the rollout paths do.
+  EXPECT_EQ(guard.check(snap, core::compute_metrics(snap), nullptr),
+            core::GuardTrip::non_finite);
+  EXPECT_EQ(guard.stats().checked, 2);
+  EXPECT_EQ(guard.stats().trips, 1);
+  EXPECT_EQ(guard.stats().last_trip, core::GuardTrip::non_finite);
+
+  // Per-stream cloning is a plain value copy carrying the band statistics.
+  core::RolloutGuard clone = guard;
+  EXPECT_EQ(clone.stats().checked, 2);
+  EXPECT_EQ(clone.stats().trips, 1);
+
+  // A reused session starts from clean statistics.
+  guard.reset();
+  EXPECT_EQ(guard.stats().checked, 0);
+  EXPECT_EQ(guard.stats().trips, 0);
+  EXPECT_EQ(guard.stats().last_trip, core::GuardTrip::none);
+  EXPECT_EQ(clone.stats().checked, 2);  // the clone is unaffected
+}
+
+// --- concurrent serving --------------------------------------------------
+
+class ServeFixture : public ::testing::Test {
+ protected:
+  ServeFixture()
+      : rng_(41),
+        model_(tiny_fno_config(), rng_),
+        fno_prop_(model_, analysis::Normalizer(0.0, 1.0), kDtSnap),
+        pde_prop_(make_solver(), kDtSnap) {}
+
+  core::RolloutRequest request_for(std::uint64_t seed, index_t steps) {
+    core::RolloutRequest request;
+    request.seed = make_seed_history(4, seed);
+    request.steps = steps;
+    request.tag = "seed-" + std::to_string(seed);
+    return request;
+  }
+
+  Rng rng_;
+  fno::Fno model_;
+  core::FnoPropagator fno_prop_;
+  core::PdePropagator pde_prop_;
+};
+
+TEST_F(ServeFixture, ConcurrentSessionsBitwiseMatchSequential) {
+  const std::vector<std::uint64_t> seeds = {101, 103, 107, 109, 113};
+  const index_t steps = 20;  // two scheduling windows per session
+
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    ThreadPool::Scope scope(threads);
+
+    std::vector<core::RolloutResult> sequential;
+    for (const std::uint64_t seed : seeds) {
+      sequential.push_back(
+          core::run_single(fno_prop_, make_seed_history(4, seed), steps));
+    }
+
+    serve::ServeConfig cfg;
+    cfg.batch_window = 3;  // forces a 3-stream chunk and a 2-stream tail
+    serve::RolloutServer server(fno_prop_, &pde_prop_, cfg);
+    std::vector<serve::SessionId> ids;
+    for (const std::uint64_t seed : seeds) {
+      const serve::Admission admission =
+          server.submit(request_for(seed, steps));
+      ASSERT_TRUE(admission.admitted) << admission.reason;
+      ids.push_back(admission.id);
+    }
+    server.drain();
+    EXPECT_GT(server.mean_batch_occupancy(), 1.0);
+
+    for (std::size_t i = 0; i < seeds.size(); ++i) {
+      const core::RolloutResult concurrent = server.take(ids[i]);
+      expect_bitwise_equal(sequential[i], concurrent);
+    }
+  }
+}
+
+TEST_F(ServeFixture, TrippedSoloSessionDegradesWithoutPerturbingBatchmates) {
+  const std::vector<std::uint64_t> seeds = {211, 223};
+  const index_t steps = 12;
+
+  std::vector<core::RolloutResult> sequential;
+  for (const std::uint64_t seed : seeds) {
+    sequential.push_back(
+        core::run_single(fno_prop_, make_seed_history(4, seed), steps));
+  }
+
+  serve::RolloutServer server(fno_prop_, &pde_prop_, serve::ServeConfig{});
+  std::vector<serve::SessionId> ids;
+  for (const std::uint64_t seed : seeds) {
+    ids.push_back(server.submit(request_for(seed, steps)).id);
+  }
+
+  // A divergent surrogate session rides along with its own propagator and a
+  // guard; it must finish finite on the PDE fallback while the healthy
+  // sessions' bytes are untouched.
+  core::DivergentPropagator divergent(fno_prop_, /*healthy_snapshots=*/2,
+                                      core::DivergentPropagator::Mode::nan);
+  core::RolloutRequest bad = request_for(227, steps);
+  bad.window = 4;
+  bad.guard.enabled = true;
+  bad.guard.cooldown_snapshots = 0;
+  const serve::Admission bad_admission =
+      server.submit_with_propagator(std::move(bad), divergent, &pde_prop_);
+  ASSERT_TRUE(bad_admission.admitted) << bad_admission.reason;
+
+  server.drain();
+
+  const core::RolloutResult tripped = server.take(bad_admission.id);
+  ASSERT_EQ(tripped.trajectory.size(), static_cast<std::size_t>(steps));
+  EXPECT_TRUE(all_finite(tripped));
+  EXPECT_GE(tripped.guard_trips(), 1);
+  for (const std::string& producer : tripped.producer) {
+    EXPECT_EQ(producer, "pde_fallback");
+  }
+
+  for (std::size_t i = 0; i < seeds.size(); ++i) {
+    const core::RolloutResult concurrent = server.take(ids[i]);
+    expect_bitwise_equal(sequential[i], concurrent);
+  }
+}
+
+TEST_F(ServeFixture, AdmissionRejectsAtQueueCapAndRecovers) {
+  serve::ServeConfig cfg;
+  cfg.queue_capacity = 2;
+  serve::RolloutServer server(fno_prop_, &pde_prop_, cfg);
+
+  const std::int64_t rejects_before =
+      obs::counter("serve/admission_rejects").value();
+  ASSERT_TRUE(server.submit(request_for(301, 4)).admitted);
+  ASSERT_TRUE(server.submit(request_for(303, 4)).admitted);
+  const serve::Admission overflow = server.submit(request_for(307, 4));
+  EXPECT_FALSE(overflow.admitted);
+  EXPECT_NE(overflow.reason.find("saturated"), std::string::npos)
+      << overflow.reason;
+  EXPECT_EQ(obs::counter("serve/admission_rejects").value(),
+            rejects_before + 1);
+  EXPECT_EQ(server.queue_depth(), 2);
+
+  server.drain();
+  EXPECT_EQ(server.queue_depth(), 0);
+  EXPECT_TRUE(server.submit(request_for(307, 4)).admitted);
+  server.drain();
+  EXPECT_EQ(server.finished().size(), 3u);
+
+  const serve::RolloutServer::LatencyStats latency = server.latency_stats();
+  EXPECT_EQ(latency.completed, 3);
+  EXPECT_GT(latency.p50_ms, 0.0);
+  EXPECT_GE(latency.p99_ms, latency.p50_ms);
+}
+
+TEST_F(ServeFixture, InvalidRequestsRejectWithReasonInsteadOfThrowing) {
+  serve::RolloutServer server(fno_prop_, &pde_prop_, serve::ServeConfig{});
+
+  core::RolloutRequest no_steps = request_for(401, 4);
+  no_steps.steps = 0;
+  EXPECT_FALSE(server.submit(std::move(no_steps)).admitted);
+
+  core::RolloutRequest short_seed = request_for(403, 4);
+  short_seed.seed.resize(2);  // below the FNO's 4-snapshot window
+  const serve::Admission a = server.submit(std::move(short_seed));
+  EXPECT_FALSE(a.admitted);
+  EXPECT_NE(a.reason.find("seed"), std::string::npos) << a.reason;
+
+  serve::RolloutServer no_fallback(fno_prop_, nullptr, serve::ServeConfig{});
+  core::RolloutRequest guarded = request_for(405, 4);
+  guarded.guard.enabled = true;
+  EXPECT_FALSE(no_fallback.submit(std::move(guarded)).admitted);
+}
+
+TEST_F(ServeFixture, EnginePoolReusesBucketsAndStaysAllocationFree) {
+  serve::ServeConfig cfg;
+  cfg.batch_window = 4;
+  serve::RolloutServer server(fno_prop_, &pde_prop_, cfg);
+
+  const auto run_wave = [this, &server](std::uint64_t base) {
+    std::vector<serve::SessionId> ids;
+    for (std::uint64_t s = 0; s < 4; ++s) {
+      const serve::Admission admission =
+          server.submit(request_for(base + s, 8));
+      ASSERT_TRUE(admission.admitted) << admission.reason;
+      ids.push_back(admission.id);
+    }
+    server.drain();
+    for (const serve::SessionId id : ids) (void)server.take(id);
+  };
+
+  run_wave(501);
+  // One bucket: every round batches all 4 streams at (8, C_in, H, W).
+  EXPECT_EQ(server.engine_pool().size(), 1u);
+  const std::int64_t misses_after_first =
+      obs::counter("serve/engine_pool_misses").value();
+  const std::int64_t steady_before =
+      obs::counter("infer/steady_state_allocs").value();
+
+  run_wave(601);  // warm wave: same shapes, same bucket
+  EXPECT_EQ(server.engine_pool().size(), 1u);
+  EXPECT_EQ(obs::counter("serve/engine_pool_misses").value(),
+            misses_after_first);
+  EXPECT_GT(obs::counter("serve/engine_pool_hits").value(), 0);
+  // The pooled engine never re-plans once its bucket is warm.
+  EXPECT_EQ(obs::counter("infer/steady_state_allocs").value(), steady_before);
+  EXPECT_GT(server.engine_pool().total_arena_bytes(), 0u);
+}
+
+}  // namespace
+}  // namespace turb
