@@ -21,12 +21,14 @@
 #include <functional>
 #include <iostream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "fno/fno.hpp"
 #include "infer/engine.hpp"
 #include "obs/obs.hpp"
 #include "util/cli.hpp"
+#include "util/isa.hpp"
 #include "util/rng.hpp"
 
 namespace {
@@ -171,6 +173,34 @@ int main(int argc, char** argv) {
   const double snapshots_per_s =
       static_cast<double>(nb * steps) / (batched_call_ns * 1e-9);
 
+  // 5. Per-ISA engine forward: a fresh engine planned and timed under each
+  //    forced ISA (util::ScopedIsa), so the dispatch layer's end-to-end
+  //    effect on the serving path is recorded next to the mainline row
+  //    (which rides the auto-resolved ISA). avx2 rows are omitted on hosts
+  //    without AVX2+FMA.
+  std::vector<std::pair<std::string, double>> isa_speedups;
+  {
+    std::vector<util::Isa> isas = {util::Isa::kScalar};
+    if (util::cpu_supports_avx2()) isas.push_back(util::Isa::kAvx2);
+    double isa_ns[2] = {0.0, 0.0};
+    for (const util::Isa isa : isas) {
+      util::ScopedIsa forced(isa);
+      infer::InferenceEngine eng(model);
+      eng.plan({1, cfg.in_channels, grid, grid});
+      TensorF yy;
+      eng.forward(x, yy);  // warm-up sizes the arena
+      const double t = time_ns([&] { eng.forward_raw(x.data(), yy.data()); });
+      results.push_back({std::string("infer/engine_forward_n64_") +
+                             util::isa_name(isa),
+                         t});
+      isa_ns[static_cast<int>(isa)] = t;
+    }
+    if (isas.size() == 2) {
+      isa_speedups.emplace_back("engine_forward_avx2_vs_scalar",
+                                isa_ns[0] / isa_ns[1]);
+    }
+  }
+
   const std::int64_t steady_allocs =
       obs::counter("infer/steady_state_allocs").value();
   const std::int64_t replans = obs::counter("infer/replans").value();
@@ -184,6 +214,9 @@ int main(int argc, char** argv) {
     std::printf("%-32s %14.1f ns/op\n", e.name.c_str(), e.ns);
   }
   std::printf("%-32s %14.2fx\n", "engine forward speedup", speedup);
+  for (const auto& [name, value] : isa_speedups) {
+    std::printf("%-32s %14.2fx\n", name.c_str(), value);
+  }
   std::printf("%-32s %14.1f snapshots/s\n", "batched throughput",
               snapshots_per_s);
   std::printf("%-32s %14lld\n", "steady-state allocs",
@@ -203,8 +236,15 @@ int main(int argc, char** argv) {
         << (i + 1 < results.size() ? ",\n" : "\n");
   }
   out << "  },\n";
-  out << "  \"speedup\": { \"engine_forward_vs_train\": "
-      << json_number(speedup, "%.3f") << " },\n";
+  out << "  \"speedup\": {\n";
+  out << "    \"engine_forward_vs_train\": " << json_number(speedup, "%.3f")
+      << (isa_speedups.empty() ? "\n" : ",\n");
+  for (std::size_t i = 0; i < isa_speedups.size(); ++i) {
+    out << "    \"" << isa_speedups[i].first
+        << "\": " << json_number(isa_speedups[i].second, "%.3f")
+        << (i + 1 < isa_speedups.size() ? ",\n" : "\n");
+  }
+  out << "  },\n";
   out << "  \"throughput\": { \"batched_snapshots_per_s\": "
       << json_number(snapshots_per_s, "%.1f")
       << ", \"batched_trajectories\": " << nb << " },\n";

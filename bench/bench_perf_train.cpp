@@ -5,7 +5,10 @@
 // paper-shaped hyperparameters (N=64, modes=12) with mode pruning on AND
 // off (the off numbers are the full-transform baseline the speedup is
 // measured against — results are bitwise identical either way), the GEMM
-// panel kernels, and a full train step of the small FNO fixture. The
+// panel kernels, and a full train step of the small FNO fixture. Per-ISA
+// roofline rows (suffix _scalar / _avx2) re-time the GEMM shapes and a raw
+// c2c transform under each forced ISA (util::ScopedIsa) so the dispatch
+// layer's speedup is recorded alongside the mainline numbers. The
 // fft/pruned_lines_skipped and fft/lines_total counters are exported so
 // pruning coverage rides along with the timings.
 //
@@ -21,9 +24,11 @@
 #include <functional>
 #include <iostream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "fft/fftnd.hpp"
+#include "fft/plan.hpp"
 #include "fno/fno.hpp"
 #include "fno/trainer.hpp"
 #include "nn/dataloader.hpp"
@@ -31,6 +36,7 @@
 #include "obs/obs.hpp"
 #include "tensor/gemm.hpp"
 #include "util/cli.hpp"
+#include "util/isa.hpp"
 #include "util/rng.hpp"
 
 namespace {
@@ -174,6 +180,57 @@ int main(int argc, char** argv) {
   // 4. Full train step of the small FNO fixture.
   results.push_back({"train/step_fixture", bench_train_step()});
 
+  // 5. Per-ISA microkernel roofline rows: the GEMM shapes from (3) plus a
+  //    raw power-of-two c2c transform, re-timed under each forced ISA so
+  //    the runtime-dispatch layer's kernel speedup is visible in the
+  //    trajectory record (the undecorated rows above ride whatever ISA
+  //    resolution picked — normally avx2 where supported). The avx2 rows
+  //    are omitted on hosts without AVX2+FMA.
+  std::vector<std::pair<std::string, double>> speedups;
+  {
+    std::vector<util::Isa> isas = {util::Isa::kScalar};
+    if (util::cpu_supports_avx2()) isas.push_back(util::Isa::kAvx2);
+    const TensorF a = random_tensor({4096, 32}, 41);
+    const TensorF b = random_tensor({32, 32}, 42);
+    TensorF c({4096, 32});
+    const TensorF sa = random_tensor({192, 192}, 43);
+    const TensorF sb = random_tensor({192, 192}, 44);
+    TensorF sc({192, 192});
+    std::vector<std::complex<float>> z(256);
+    {
+      Rng rng(45);
+      for (auto& v : z) {
+        v = {static_cast<float>(rng.normal()), static_cast<float>(rng.normal())};
+      }
+    }
+    const fft::PlanC2C<float> p256(256);
+    double gemm_ns[2] = {0.0, 0.0};
+    double c2c_ns[2] = {0.0, 0.0};
+    for (const util::Isa isa : isas) {
+      util::ScopedIsa forced(isa);
+      const std::string s = util::isa_name(isa);
+      results.push_back({"gemm/nn_4096x32x32_" + s, time_ns([&] {
+                           gemm_nn<float>(4096, 32, 32, 1.0f, a.data(), 32,
+                                          b.data(), 32, 0.0f, c.data(), 32);
+                         })});
+      const double g = time_ns([&] {
+        gemm_nn<float>(192, 192, 192, 1.0f, sa.data(), 192, sb.data(), 192,
+                       0.0f, sc.data(), 192);
+      });
+      results.push_back({"gemm/nn_192cubed_" + s, g});
+      gemm_ns[static_cast<int>(isa)] = g;
+      const double f = time_ns([&] { p256.forward(z.data()); });
+      results.push_back({"fft/c2c_n256_" + s, f});
+      c2c_ns[static_cast<int>(isa)] = f;
+    }
+    if (isas.size() == 2) {
+      speedups.emplace_back("gemm_nn_192cubed_avx2_vs_scalar",
+                            gemm_ns[0] / gemm_ns[1]);
+      speedups.emplace_back("fft_c2c_n256_avx2_vs_scalar",
+                            c2c_ns[0] / c2c_ns[1]);
+    }
+  }
+
   const std::int64_t skipped =
       obs::counter("fft/pruned_lines_skipped").value();
   const std::int64_t total = obs::counter("fft/lines_total").value();
@@ -184,6 +241,9 @@ int main(int argc, char** argv) {
     std::printf("%-28s %14.1f ns/op\n", e.name.c_str(), e.ns);
   }
   std::printf("%-28s %14.2fx\n", "spectral fwd+bwd speedup", speedup);
+  for (const auto& [name, value] : speedups) {
+    std::printf("%-28s %14.2fx\n", name.c_str(), value);
+  }
   std::printf("%-28s %14lld / %lld\n", "pruned lines skipped",
               static_cast<long long>(skipped), static_cast<long long>(total));
 
@@ -200,8 +260,16 @@ int main(int argc, char** argv) {
         << (i + 1 < results.size() ? ",\n" : "\n");
   }
   out << "  },\n";
-  out << "  \"speedup\": { \"spectral_fwdbwd_pruned_vs_full\": "
-      << json_number(speedup, "%.3f") << " },\n";
+  out << "  \"speedup\": {\n";
+  out << "    \"spectral_fwdbwd_pruned_vs_full\": "
+      << json_number(speedup, "%.3f")
+      << (speedups.empty() ? "\n" : ",\n");
+  for (std::size_t i = 0; i < speedups.size(); ++i) {
+    out << "    \"" << speedups[i].first
+        << "\": " << json_number(speedups[i].second, "%.3f")
+        << (i + 1 < speedups.size() ? ",\n" : "\n");
+  }
+  out << "  },\n";
   out << "  \"counters\": {\n";
   out << "    \"fft/pruned_lines_skipped\": " << skipped << ",\n";
   out << "    \"fft/lines_total\": " << total << "\n";

@@ -5,7 +5,9 @@
 # bench_perf_train times the batched 2-D FFT, SpectralConv fwd/bwd with mode
 # pruning on and off (full-transform baseline), the GEMM panel kernels, and
 # a full fixture train step, and records the fft/pruned_lines_skipped /
-# fft/lines_total coverage counters.
+# fft/lines_total coverage counters. Per-ISA rows (_scalar / _avx2) re-time
+# the GEMM shapes and a raw c2c transform under each forced SIMD tier; the
+# summary below reports the avx2-vs-scalar kernel speedups where measured.
 #
 # bench_perf_infer times the serving engine against the training-path
 # forward at the paper shape (N=64, 12 modes) — the two are timed in
@@ -49,6 +51,13 @@ total = d["counters"]["fft/lines_total"]
 print(f"bench_perf: spectral fwd+bwd pruned-vs-full speedup {s:.2f}x, "
       f"pruning coverage {skipped}/{total} lines "
       f"({100.0 * skipped / max(total, 1):.1f}%)")
+gemm = d["speedup"].get("gemm_nn_192cubed_avx2_vs_scalar")
+c2c = d["speedup"].get("fft_c2c_n256_avx2_vs_scalar")
+if gemm is not None and c2c is not None:
+    print(f"bench_perf: avx2 vs scalar — gemm 192^3 {gemm:.2f}x, "
+          f"c2c n=256 {c2c:.2f}x")
+else:
+    print("bench_perf: no avx2 on this host; per-ISA speedup rows omitted")
 EOF
 
 # shellcheck disable=SC2086
@@ -65,6 +74,9 @@ assert allocs == 0, f"engine allocated in steady state ({allocs} allocations)"
 print(f"bench_perf: engine forward {s:.2f}x vs training-path forward, "
       f"steady-state allocations {allocs}, "
       f"arena {d['gauges']['infer/arena_bytes'] / 1e6:.1f} MB")
+isa = d["speedup"].get("engine_forward_avx2_vs_scalar")
+if isa is not None:
+    print(f"bench_perf: engine forward avx2 vs scalar {isa:.2f}x")
 EOF
 
 # shellcheck disable=SC2086

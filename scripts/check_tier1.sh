@@ -7,6 +7,13 @@
 #     (determinism_weights_*.tnn) into the test working directory; the two
 #     runs' dumps are diffed byte-for-byte, extending the thread-count
 #     determinism contract across processes and pool widths.
+#  1b. Dual-ISA determinism leg: the determinism suite re-run with the SIMD
+#     dispatch forced to each tier (TURBFNO_ISA=scalar and =avx2) at pool
+#     widths 1 and 4, diffing the weight dumps byte-for-byte within each
+#     ISA. Dumps are only comparable within a fixed ISA (Tier A); across
+#     ISAs the contract is the bounded Tier B agreement tested by
+#     tests/test_isa.cpp. The avx2 leg is skipped with a notice on hosts
+#     whose /proc/cpuinfo lacks avx2+fma.
 #  2. One bench with --metrics-out, asserting the exported JSON contains the
 #     fft/*, nn/*, and train/* spans plus the mode-pruning coverage counters.
 #  3. A perf-harness smoke: bench_perf_train at a tiny measurement budget,
@@ -65,6 +72,38 @@ for dump in "${DUMPS[@]}"; do
     echo "check_tier1: $dump differs between TURBFNO_THREADS=1 and =4 runs" >&2
     exit 1
   }
+done
+
+# Dual-ISA leg: within each forced ISA, the determinism dumps must be
+# byte-identical across pool widths 1 and 4 (cross-process Tier A). The
+# scalar leg always runs; the avx2 leg needs avx2+fma in /proc/cpuinfo.
+ISA_LEGS=(scalar)
+if [[ -r /proc/cpuinfo ]] && grep -q avx2 /proc/cpuinfo \
+    && grep -q fma /proc/cpuinfo; then
+  ISA_LEGS+=(avx2)
+else
+  echo "check_tier1: host lacks avx2+fma (or /proc/cpuinfo unreadable);" \
+       "skipping the avx2 determinism leg"
+fi
+for isa in "${ISA_LEGS[@]}"; do
+  ISA_SAVE_DIR="$BUILD_DIR/determinism_isa_$isa"
+  rm -rf "$ISA_SAVE_DIR" && mkdir -p "$ISA_SAVE_DIR"
+  (cd "$DUMP_DIR" && TURBFNO_ISA="$isa" TURBFNO_THREADS=1 \
+      ./test_determinism --gtest_brief=1 > /dev/null)
+  for dump in "${DUMPS[@]}"; do
+    cp "$DUMP_DIR/$dump" "$ISA_SAVE_DIR/$dump"
+  done
+  (cd "$DUMP_DIR" && TURBFNO_ISA="$isa" TURBFNO_THREADS=4 \
+      ./test_determinism --gtest_brief=1 > /dev/null)
+  for dump in "${DUMPS[@]}"; do
+    cmp "$ISA_SAVE_DIR/$dump" "$DUMP_DIR/$dump" || {
+      echo "check_tier1: $dump differs between TURBFNO_THREADS=1 and =4" \
+           "under TURBFNO_ISA=$isa" >&2
+      exit 1
+    }
+  done
+  echo "check_tier1: determinism dumps identical across widths under" \
+       "TURBFNO_ISA=$isa"
 done
 
 METRICS="$BUILD_DIR/check_tier1_metrics.json"
@@ -135,7 +174,8 @@ rm -f "$SERVE_JSON" "$SERVE_METRICS"
 "$BUILD_DIR/bench/bench_perf_serve" --grid 16 --steps 2 --out "$SERVE_JSON" \
     --metrics-out "$SERVE_METRICS" > /dev/null
 for name in '"serve/round"' '"serve/batch"' '"serve/admission_rejects"' \
-            '"serve/batches"' '"serve/queue_depth"'; do
+            '"serve/batches"' '"serve/queue_depth"' '"isa/active"' \
+            '"isa/gemm_dispatch_scalar"' '"isa/fft_dispatch_scalar"'; do
   grep -q "$name" "$SERVE_METRICS" || {
     echo "check_tier1: metric $name missing from $SERVE_METRICS" >&2
     exit 1
@@ -184,4 +224,4 @@ if [[ "${TURBFNO_TIER1_SANITIZE:-0}" == "1" ]]; then
       -j "$(nproc)"
 fi
 
-echo "check_tier1: OK (tests passed at 1 and 4 threads, determinism dumps identical, metrics JSON valid: $METRICS, perf smoke JSON valid: $PERF_JSON, inference smoke JSON valid: $INFER_JSON, serving smoke JSON valid: $SERVE_JSON, fault-injection smoke valid: $ROBUST_METRICS)"
+echo "check_tier1: OK (tests passed at 1 and 4 threads, determinism dumps identical incl. forced-ISA legs [${ISA_LEGS[*]}], metrics JSON valid: $METRICS, perf smoke JSON valid: $PERF_JSON, inference smoke JSON valid: $INFER_JSON, serving smoke JSON valid: $SERVE_JSON, fault-injection smoke valid: $ROBUST_METRICS)"

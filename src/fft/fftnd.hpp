@@ -40,6 +40,7 @@
 #include "fft/workspace.hpp"
 #include "obs/obs.hpp"
 #include "tensor/tensor.hpp"
+#include "util/isa.hpp"
 #include "util/thread_pool.hpp"
 
 namespace turb::fft {
@@ -128,6 +129,7 @@ void c2c_axis(Tensor<std::complex<T>>& x, std::size_t axis, bool forward,
   static obs::Counter& lines_total = obs::counter("fft/lines_total");
   static obs::Counter& lines_skipped = obs::counter("fft/pruned_lines_skipped");
   lines_total.add(outer * inner);
+  util::fft_dispatch_counter(util::active_isa()).add(1);
   const std::uint8_t* keep = nullptr;
   if (inner_keep != nullptr && !inner_keep->empty()) {
     TURB_CHECK_MSG(static_cast<index_t>(inner_keep->size()) == inner,
@@ -197,6 +199,7 @@ void rfftn_into(const Tensor<T>& x, int ndim, Tensor<std::complex<T>>& out,
   static obs::Counter& lines_total = obs::counter("fft/lines_total");
   lines.add(rows);
   lines_total.add(rows);
+  util::fft_dispatch_counter(util::active_isa()).add(1);
   const index_t out_row = out_shape[rank - 1];
   const T* in_data = x.data();
   cpx* out_data = out.data();
@@ -287,6 +290,7 @@ void irfftn_into(const Tensor<std::complex<T>>& x, int ndim, index_t n_last,
   static obs::Counter& lines_total = obs::counter("fft/lines_total");
   lines.add(rows);
   lines_total.add(rows);
+  util::fft_dispatch_counter(util::active_isa()).add(1);
   T* out_data = out.data();
   parallel_for_chunked(0, rows, [&](index_t rb, index_t re) {
     for (index_t r = rb; r < re; ++r) {

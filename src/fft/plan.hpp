@@ -7,15 +7,25 @@
 //
 // Normalisation convention (NumPy/PyTorch): forward is unscaled, inverse
 // divides by n.
+//
+// The radix-2 butterfly loop dispatches per execute() call on
+// util::active_isa(): the scalar loop below is the reference, the AVX2/FMA
+// stage kernel in fft/kernels_avx2.hpp the fast path. The AVX2 path reads
+// per-stage contiguous twiddle tables (stage_tw_, copied bitwise from
+// twiddle_ at plan build) instead of the strided twiddle_[j*step] walk.
+// Bluestein lengths reach the dispatch through their power-of-two sub-plan.
 #pragma once
 
 #include <cmath>
 #include <complex>
 #include <memory>
 #include <numbers>
+#include <type_traits>
 #include <vector>
 
+#include "fft/kernels_avx2.hpp"
 #include "util/common.hpp"
+#include "util/isa.hpp"
 
 namespace turb::fft {
 
@@ -70,6 +80,21 @@ class PlanC2C {
       twiddle_[static_cast<std::size_t>(k)] =
           cpx(static_cast<T>(std::cos(ang)), static_cast<T>(std::sin(ang)));
     }
+    // Per-stage contiguous copies for the vectorized butterflies: the stage
+    // with half = len/2 butterflies owns stage_tw_[half-1 .. 2·half-2],
+    // stage_tw_[half-1 + j] = twiddle_[j·step] (same bits, n-1 entries
+    // total). Built unconditionally so the ISA stays switchable at runtime.
+    if (n_ > 1) {
+      stage_tw_.resize(static_cast<std::size_t>(n_ - 1));
+      for (index_t len = 2; len <= n_; len <<= 1) {
+        const index_t half = len / 2;
+        const index_t step = n_ / len;
+        for (index_t j = 0; j < half; ++j) {
+          stage_tw_[static_cast<std::size_t>(half - 1 + j)] =
+              twiddle_[static_cast<std::size_t>(j * step)];
+        }
+      }
+    }
   }
 
   void init_bluestein() {
@@ -121,6 +146,18 @@ class PlanC2C {
       const index_t r = bitrev_[static_cast<std::size_t>(i)];
       if (i < r) std::swap(x[i], x[r]);
     }
+#if defined(TURBFNO_HAS_AVX2_KERNELS)
+    if constexpr (std::is_same_v<T, float> || std::is_same_v<T, double>) {
+      if (util::active_isa() == util::Isa::kAvx2) {
+        for (index_t len = 2; len <= n_; len <<= 1) {
+          const index_t half = len / 2;
+          avx2::radix2_stage(x, n_, len, stage_tw_.data() + (half - 1),
+                             inverse);
+        }
+        return;
+      }
+    }
+#endif
     // Butterflies.
     for (index_t len = 2; len <= n_; len <<= 1) {
       const index_t half = len / 2;
@@ -160,6 +197,7 @@ class PlanC2C {
   // Radix-2 state.
   std::vector<index_t> bitrev_;
   std::vector<cpx> twiddle_;
+  std::vector<cpx> stage_tw_;  ///< per-stage contiguous copies (see init)
   // Bluestein state (null sub_ means radix-2 path).
   index_t m_ = 0;
   std::unique_ptr<PlanC2C> sub_;

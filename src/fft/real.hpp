@@ -10,15 +10,23 @@
 // wrappers fill a scratch table per call (the historical cost). Both paths
 // run the one shared _scratch instantiation on identical table values, so
 // their outputs are bitwise identical by construction.
+//
+// The unpack/pack loops dispatch per call on util::active_isa() between the
+// scalar reference loops below and the AVX2/FMA kernels in
+// fft/kernels_avx2.hpp; dispatch sits inside the shared instantiation, so
+// the training/engine bitwise identity above holds under either ISA.
 #pragma once
 
 #include <complex>
 #include <cstdint>
 #include <numbers>
+#include <type_traits>
 #include <vector>
 
+#include "fft/kernels_avx2.hpp"
 #include "fft/plan_cache.hpp"
 #include "util/common.hpp"
+#include "util/isa.hpp"
 
 namespace turb::fft {
 
@@ -66,6 +74,14 @@ void rfft_scratch(const T* in, std::complex<T>* out, index_t n,
   }
   plan<T>(h).forward(z);
 
+#if defined(TURBFNO_HAS_AVX2_KERNELS)
+  if constexpr (std::is_same_v<T, float> || std::is_same_v<T, double>) {
+    if (util::active_isa() == util::Isa::kAvx2) {
+      avx2::rfft_unpack(z, out, h, keep_bins, tw);
+      return;
+    }
+  }
+#endif
   for (index_t k = 0; k <= h; ++k) {
     if (keep_bins != nullptr && keep_bins[k] == 0) continue;
     const cpx zk = z[k % h];
@@ -87,6 +103,19 @@ void irfft_scratch(const std::complex<T>* in, T* out, index_t n,
   using cpx = std::complex<T>;
   TURB_CHECK_MSG(n >= 2 && n % 2 == 0, "irfft length must be even, got " << n);
   const index_t h = n / 2;
+#if defined(TURBFNO_HAS_AVX2_KERNELS)
+  if constexpr (std::is_same_v<T, float> || std::is_same_v<T, double>) {
+    if (util::active_isa() == util::Isa::kAvx2) {
+      avx2::irfft_pack(in, z, h, tw);
+      plan<T>(h).inverse(z);
+      for (index_t k = 0; k < h; ++k) {
+        out[2 * k] = z[k].real();
+        out[2 * k + 1] = z[k].imag();
+      }
+      return;
+    }
+  }
+#endif
   for (index_t k = 0; k < h; ++k) {
     // The DC and Nyquist coefficients of a real signal are real; like cuFFT's
     // C2R, ignore any imaginary part there so the transform is exactly the

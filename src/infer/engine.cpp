@@ -124,6 +124,10 @@ void InferenceEngine::plan(const Shape& in_shape) {
   TURB_CHECK(in_shape[0] >= 1 && in_shape[1] == cfg_.in_channels);
 
   replans_.add(1);
+  // Plan-time kernel selection: resolving the ISA here publishes the
+  // isa/active gauge even before the first kernel dispatch, so every
+  // --metrics-out snapshot that contains a plan also names its kernels.
+  isa_ = util::active_isa();
   batch_ = in_shape[0];
   spatial_.assign(in_shape.begin() + 2, in_shape.end());
   n_last_ = spatial_.back();
@@ -320,6 +324,7 @@ void InferenceEngine::rfft_rows(const float* in, cpxf* out) {
   const index_t out_row = n_last_ / 2 + 1;
   fft_r2c_lines_.add(rows);
   fft_lines_total_.add(rows);
+  util::fft_dispatch_counter(util::active_isa()).add(1);
   const std::uint8_t* keep = keep_bins_.empty() ? nullptr : keep_bins_.data();
   const cpxf* tw = arena_.at<cpxf>(off_twf_);
   run_chunks(*pool_, rows, [&](index_t rb, index_t re) {
@@ -336,6 +341,7 @@ void InferenceEngine::irfft_rows(const cpxf* in, float* out) {
   const index_t in_row = n_last_ / 2 + 1;
   fft_c2r_lines_.add(rows);
   fft_lines_total_.add(rows);
+  util::fft_dispatch_counter(util::active_isa()).add(1);
   const cpxf* tw = arena_.at<cpxf>(off_twi_);
   run_chunks(*pool_, rows, [&](index_t rb, index_t re) {
     cpxf* z = arena_.at<cpxf>(off_z_[pool_->scratch_slot()]);
@@ -349,6 +355,7 @@ void InferenceEngine::c2c_stage(const cpxf* src, cpxf* dst, const C2cStage& st,
                                 bool forward_dir) {
   if (st.n == 1) return;  // mirrors c2c_axis: counted only when transformed
   fft_lines_total_.add(st.outer * st.inner);
+  util::fft_dispatch_counter(util::active_isa()).add(1);
   const std::uint8_t* keep = nullptr;
   if (!st.keep.empty()) {
     keep = st.keep.data();

@@ -34,6 +34,7 @@
 #include "infer/arena.hpp"
 #include "obs/obs.hpp"
 #include "tensor/tensor.hpp"
+#include "util/isa.hpp"
 #include "util/thread_pool.hpp"
 
 namespace turb::infer {
@@ -113,6 +114,11 @@ class InferenceEngine {
   [[nodiscard]] bool planned() const { return planned_; }
   [[nodiscard]] const Shape& planned_shape() const { return in_shape_; }
 
+  /// The microkernel ISA resolved at plan() time (the engine's kernels
+  /// dispatch on the live process-wide choice; this records what was active
+  /// when the plan was built, for bench/metrics attribution).
+  [[nodiscard]] util::Isa planned_isa() const { return isa_; }
+
  private:
   using cpxf = std::complex<float>;
 
@@ -167,6 +173,7 @@ class InferenceEngine {
   std::vector<C2cStage> stages_;          // index = spatial axis a
   ThreadPool* pool_ = nullptr;            // captured at plan()
   std::size_t slots_ = 0;                 // pool_->slot_count() at layout time
+  util::Isa isa_ = util::Isa::kScalar;    // resolved at plan()
 
   // Arena slices (byte offsets; pointers resolved after commit()).
   Arena arena_;

@@ -1,6 +1,7 @@
 #include "serve/engine_pool.hpp"
 
 #include "obs/obs.hpp"
+#include "util/isa.hpp"
 
 namespace turb::serve {
 
@@ -9,6 +10,12 @@ EnginePool::EnginePool(fno::Fno& model) : model_(&model) {}
 infer::InferenceEngine& EnginePool::acquire(index_t batch, index_t cin,
                                             index_t h, index_t w) {
   TURB_CHECK(batch >= 1 && cin >= 1 && h >= 1 && w >= 1);
+  // Serving attribution: keep isa/active live in every --metrics-out
+  // snapshot the serving path produces (resolution publishes the gauge;
+  // re-publishing here covers snapshots taken after a ScopedIsa restored
+  // an unresolved state).
+  obs::gauge("isa/active")
+      .set(static_cast<double>(static_cast<int>(util::active_isa())));
   const EngineKey key{batch, cin, h, w};
   auto it = engines_.find(key);
   if (it != engines_.end()) {

@@ -20,10 +20,19 @@
 // order — the tiling changes instruction scheduling, not the rounding
 // sequence, which keeps results bitwise identical to the scalar kernel and
 // preserves the thread-count determinism contract.
+//
+// All three entry points dispatch per call on util::active_isa(): the scalar
+// panel kernels above are the reference (and the only implementation off
+// x86), the AVX2/FMA kernels in tensor/gemm_avx2.hpp the fast path. Dispatch
+// sits inside the shared kernel, below the gemm_rows work partition, so the
+// Tier A per-ISA bitwise contract (util/isa.hpp) holds at every thread count
+// and for every caller, training and inference engine alike.
 #pragma once
 
 #include "obs/obs.hpp"
+#include "tensor/gemm_avx2.hpp"
 #include "util/common.hpp"
+#include "util/isa.hpp"
 #include "util/thread_pool.hpp"
 
 namespace turb {
@@ -43,6 +52,19 @@ inline void count_gemm(index_t m, index_t n, index_t k) {
 /// Minimum multiply-add count before a GEMM is worth row-tiling over the
 /// pool (below this the dispatch overhead dominates the arithmetic).
 inline constexpr index_t kParallelGemmFlops = index_t{1} << 15;
+
+/// Per-call ISA dispatch: resolves the active ISA, bumps the per-family
+/// counter, and reports whether the AVX2 kernels should run (never true on
+/// builds without them).
+inline bool gemm_dispatch_avx2() {
+  const util::Isa isa = util::active_isa();
+  util::gemm_dispatch_counter(isa).add(1);
+#if defined(TURBFNO_HAS_AVX2_KERNELS)
+  return isa == util::Isa::kAvx2;
+#else
+  return false;
+#endif
+}
 
 /// Register-tile width of the panel kernels: 8 floats fill one 256-bit
 /// vector (two for doubles), small enough that the accumulators plus the
@@ -124,12 +146,21 @@ template <typename T>
 void gemm_nn(index_t m, index_t n, index_t k, T alpha, const T* a, index_t lda,
              const T* b, index_t ldb, T beta, T* c, index_t ldc) {
   detail::count_gemm(m, n, k);
+  const bool use_avx2 = detail::gemm_dispatch_avx2();
   detail::gemm_rows(m, n, k, [=](index_t i0, index_t i1) {
     for (index_t i = i0; i < i1; ++i) {
       const T* ai = a + i * lda;
-      detail::gemm_row_panels(
-          n, k, alpha, [ai](index_t p) { return ai[p]; }, b, ldb, beta,
-          c + i * ldc);
+      const auto a_of_p = [ai](index_t p) { return ai[p]; };
+#if defined(TURBFNO_HAS_AVX2_KERNELS)
+      if (use_avx2) {
+        detail::avx2::row_panels(n, k, alpha, a_of_p, b, ldb, beta,
+                                 c + i * ldc);
+        continue;
+      }
+#else
+      (void)use_avx2;
+#endif
+      detail::gemm_row_panels(n, k, alpha, a_of_p, b, ldb, beta, c + i * ldc);
     }
   });
 }
@@ -138,11 +169,20 @@ template <typename T>
 void gemm_tn(index_t m, index_t n, index_t k, T alpha, const T* a, index_t lda,
              const T* b, index_t ldb, T beta, T* c, index_t ldc) {
   detail::count_gemm(m, n, k);
+  const bool use_avx2 = detail::gemm_dispatch_avx2();
   detail::gemm_rows(m, n, k, [=](index_t i0, index_t i1) {
     for (index_t i = i0; i < i1; ++i) {
-      detail::gemm_row_panels(
-          n, k, alpha, [a, lda, i](index_t p) { return a[p * lda + i]; }, b,
-          ldb, beta, c + i * ldc);
+      const auto a_of_p = [a, lda, i](index_t p) { return a[p * lda + i]; };
+#if defined(TURBFNO_HAS_AVX2_KERNELS)
+      if (use_avx2) {
+        detail::avx2::row_panels(n, k, alpha, a_of_p, b, ldb, beta,
+                                 c + i * ldc);
+        continue;
+      }
+#else
+      (void)use_avx2;
+#endif
+      detail::gemm_row_panels(n, k, alpha, a_of_p, b, ldb, beta, c + i * ldc);
     }
   });
 }
@@ -208,8 +248,18 @@ template <typename T>
 void gemm_nt(index_t m, index_t n, index_t k, T alpha, const T* a, index_t lda,
              const T* b, index_t ldb, T beta, T* c, index_t ldc) {
   detail::count_gemm(m, n, k);
+  const bool use_avx2 = detail::gemm_dispatch_avx2();
   detail::gemm_rows(m, n, k, [=](index_t i0, index_t i1) {
     for (index_t i = i0; i < i1; ++i) {
+#if defined(TURBFNO_HAS_AVX2_KERNELS)
+      if (use_avx2) {
+        detail::avx2::nt_row(n, k, alpha, a + i * lda, b, ldb, beta,
+                             c + i * ldc);
+        continue;
+      }
+#else
+      (void)use_avx2;
+#endif
       detail::gemm_nt_row_panels(n, k, alpha, a + i * lda, b, ldb, beta,
                                  c + i * ldc);
     }

@@ -4,6 +4,7 @@
 
 #include "obs/obs.hpp"
 #include "util/common.hpp"
+#include "util/isa.hpp"
 #include "util/thread_pool.hpp"
 
 namespace turb {
@@ -69,6 +70,9 @@ void apply_runtime_flags(const CliArgs& args) {
     const long threads = args.get_int("threads", 0);
     TURB_CHECK_MSG(threads >= 1, "--threads must be >= 1, got " << threads);
     set_global_threads(static_cast<std::size_t>(threads));
+  }
+  if (args.has("isa")) {
+    util::set_active_isa(util::parse_isa(args.get("isa", "auto")));
   }
   const std::string metrics = args.get("metrics-out", "");
   if (!metrics.empty()) obs::dump_json_at_exit(metrics);

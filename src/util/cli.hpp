@@ -51,6 +51,8 @@ struct ServeRuntimeOptions {
 /// Apply the process-wide flags every driver (examples, benches) shares:
 ///   --threads N             size the global thread pool (must precede the
 ///                           first parallel region; errors otherwise)
+///   --isa auto|scalar|avx2  force the microkernel ISA (overrides the
+///                           TURBFNO_ISA env; avx2 errors when unsupported)
 ///   --metrics-out F         dump the obs metrics registry to F as JSON when
 ///                           the process exits normally
 ///   --serve-max-sessions N  serving: concurrently active session bound

@@ -21,6 +21,8 @@
 #include "fno/trainer.hpp"
 #include "nn/dataloader.hpp"
 #include "nn/serialize.hpp"
+#include "util/checksum.hpp"
+#include "util/isa.hpp"
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
 
@@ -127,6 +129,25 @@ TEST(Determinism, GlobalPoolMatchesScopedRun) {
   const RunArtifacts global_run = train_once("determinism_weights_global.tnn");
   const RunArtifacts t1 = train_at_width(1);
   expect_identical(global_run, t1, "global pool vs scoped width 1");
+}
+
+TEST(Determinism, ScalarIsaReproducesSeedFixtureDump) {
+  // Golden regression for the scalar reference tier: with the SIMD dispatch
+  // forced to scalar, the 3-epoch fixture run must reproduce the exact bytes
+  // the pre-dispatch tree produced (recorded when the runtime-ISA layer
+  // landed). Any change to the scalar kernels, the dispatch plumbing, or the
+  // serialization format that perturbs even one bit shows up here. The CRC is
+  // zlib-compatible (util::crc32) over the serialized parameter file.
+  //
+  // The golden is tied to this toolchain's code generation (-O3 with
+  // -ffp-contract=fast); regenerate it deliberately — never loosen it — if
+  // the compiler or flags change.
+  util::ScopedIsa forced(util::Isa::kScalar);
+  ThreadPool::Scope scope(1);
+  const RunArtifacts run = train_once("determinism_weights_scalar_golden.tnn");
+  EXPECT_EQ(run.weight_bytes.size(), 43656u);
+  EXPECT_EQ(util::crc32(run.weight_bytes.data(), run.weight_bytes.size()),
+            0x455DD205u);
 }
 
 TEST(Determinism, EvaluationBitwiseIdenticalAcrossThreadCounts) {
