@@ -25,8 +25,11 @@ int main(int argc, char** argv) {
   core::PdePropagator pde_prop(bench::make_reference_solver(setup),
                                setup.dt_snap);
   const index_t horizon = 20;
-  const auto fno_run = core::run_single(fno_prop, seed, horizon);
-  const auto pde_run = core::run_single(pde_prop, seed, horizon);
+  core::RolloutRequest roll_req;
+  roll_req.seed = seed;
+  roll_req.steps = horizon;
+  const auto fno_run = core::run_rollout(fno_prop, roll_req);
+  const auto pde_run = core::run_rollout(pde_prop, roll_req);
 
   SeriesTable table("ablation_spectral_bias");
   table.set_columns({"snapshot", "k_shell", "E_pde", "E_fno", "ratio"});

@@ -5,9 +5,13 @@
 // training-path Fno::forward versus the planned engine's forward_raw over
 // the same weights and input (bitwise-identical outputs, see
 // tests/test_infer.cpp), the autoregressive rollout cost per produced
-// snapshot, and batched multi-trajectory throughput. The engine's
-// allocation counters and arena gauge ride along so the zero-steady-state
-// contract is visible in the trajectory record.
+// snapshot, and batched multi-trajectory throughput. Variant rows cover the
+// factorized (F-FNO) parameterisation and the bf16/fp16 compressed-weight
+// engines at modes 12 and 20 — each reduced-precision row records its
+// relative L2 against the fp32 engine and the compressed spectral working
+// set next to the timing. The engine's allocation counters and arena gauge
+// ride along so the zero-steady-state contract is visible in the trajectory
+// record.
 //
 // Flags (besides the shared --threads / --metrics-out):
 //   --out F            JSON output path (default BENCH_inference.json)
@@ -15,6 +19,7 @@
 //                      check_tier1.sh passes a small value for its smoke run)
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdint>
 #include <cstdio>
 #include <fstream>
@@ -26,9 +31,11 @@
 
 #include "fno/fno.hpp"
 #include "infer/engine.hpp"
+#include "json_out.hpp"
 #include "obs/obs.hpp"
 #include "util/cli.hpp"
 #include "util/isa.hpp"
+#include "util/precision.hpp"
 #include "util/rng.hpp"
 
 namespace {
@@ -104,10 +111,14 @@ TensorF random_tensor(Shape shape, std::uint64_t seed) {
   return x;
 }
 
-std::string json_number(double v, const char* fmt = "%.1f") {
-  char buf[64];
-  std::snprintf(buf, sizeof(buf), fmt, v);
-  return buf;
+double relative_l2(const TensorF& a, const TensorF& ref) {
+  double num = 0.0, den = 0.0;
+  for (index_t i = 0; i < ref.size(); ++i) {
+    const double d = static_cast<double>(a[i]) - static_cast<double>(ref[i]);
+    num += d * d;
+    den += static_cast<double>(ref[i]) * static_cast<double>(ref[i]);
+  }
+  return std::sqrt(num / std::max(den, 1e-300));
 }
 
 }  // namespace
@@ -201,6 +212,71 @@ int main(int argc, char** argv) {
     }
   }
 
+  // 6. Parameterisation × precision variants: the factorized (F-FNO) layer
+  //    and the bf16/fp16 compressed-weight engines, at the paper's 12 modes
+  //    and at 20 modes where both the factorization and the compression pay
+  //    off harder. Each variant plans a fresh engine on its own model (same
+  //    rng seed per modes count, so dense/fact differ only in weight
+  //    parameterisation); reduced-precision rows record relative L2 against
+  //    the fp32 engine of the same model and the compressed spectral
+  //    working set.
+  struct Variant {
+    std::string name;
+    double ns = 0.0;
+    double rel_l2 = 0.0;  // vs the same model's fp32 engine (0 for fp32)
+    std::int64_t weight_bytes = 0;
+    std::string precision;
+    bool factorized = false;
+    index_t modes = 0;
+  };
+  std::vector<Variant> variants;
+  std::vector<std::pair<std::string, double>> variant_speedups;
+  {
+    const auto run_variants = [&](index_t modes) {
+      fno::FnoConfig vc = cfg;
+      vc.n_modes = {modes, modes};
+      const std::string mtag = "m" + std::to_string(modes);
+      double fp32_ns[2] = {0.0, 0.0};  // [dense, fact] for the speedup rows
+      for (const bool factorized : {false, true}) {
+        Rng vrng(17);  // same seed: dense/fact share everything but weights
+        vc.spectral_kind = factorized ? nn::SpectralKind::kFactorized
+                                      : nn::SpectralKind::kDense;
+        fno::Fno vmodel(vc, vrng);
+        TensorF ref;  // fp32 output of this model
+        for (const util::Precision prec :
+             {util::Precision::kFp32, util::Precision::kBf16,
+              util::Precision::kFp16}) {
+          infer::InferenceEngine eng(vmodel, {prec});
+          eng.plan({1, vc.in_channels, grid, grid});
+          TensorF yy;
+          eng.forward(x, yy);
+          Variant v;
+          v.name = std::string("infer/engine_forward_n64_") + mtag +
+                   (factorized ? "_fact_" : "_dense_") +
+                   util::precision_name(prec);
+          v.ns = time_ns([&] { eng.forward_raw(x.data(), yy.data()); });
+          v.precision = util::precision_name(prec);
+          v.factorized = factorized;
+          v.modes = modes;
+          v.weight_bytes =
+              static_cast<std::int64_t>(eng.spectral_weight_bytes());
+          if (prec == util::Precision::kFp32) {
+            ref = yy;
+            fp32_ns[factorized ? 1 : 0] = v.ns;
+          } else {
+            v.rel_l2 = relative_l2(yy, ref);
+          }
+          results.push_back({v.name, v.ns});
+          variants.push_back(std::move(v));
+        }
+      }
+      variant_speedups.emplace_back("engine_forward_fact_vs_dense_" + mtag,
+                                    fp32_ns[0] / fp32_ns[1]);
+    };
+    run_variants(12);
+    run_variants(20);
+  }
+
   const std::int64_t steady_allocs =
       obs::counter("infer/steady_state_allocs").value();
   const std::int64_t replans = obs::counter("infer/replans").value();
@@ -217,6 +293,15 @@ int main(int argc, char** argv) {
   for (const auto& [name, value] : isa_speedups) {
     std::printf("%-32s %14.2fx\n", name.c_str(), value);
   }
+  for (const auto& [name, value] : variant_speedups) {
+    std::printf("%-32s %14.2fx\n", name.c_str(), value);
+  }
+  for (const Variant& v : variants) {
+    if (v.precision != "fp32") {
+      std::printf("%-44s rel_l2 %.3e  weights %lld B\n", v.name.c_str(),
+                  v.rel_l2, static_cast<long long>(v.weight_bytes));
+    }
+  }
   std::printf("%-32s %14.1f snapshots/s\n", "batched throughput",
               snapshots_per_s);
   std::printf("%-32s %14lld\n", "steady-state allocs",
@@ -224,38 +309,43 @@ int main(int argc, char** argv) {
   std::printf("%-32s %14.0f bytes\n", "arena", arena_bytes);
 
   // JSON trajectory record.
-  std::ofstream out(out_path);
-  if (!out.good()) {
-    std::cerr << "bench_perf_infer: cannot write " << out_path << "\n";
-    return 1;
+  bench::JsonObject res;
+  for (const Entry& e : results) res.number(e.name, e.ns, "%.1f");
+  bench::JsonObject speed;
+  speed.number("engine_forward_vs_train", speedup);
+  for (const auto& [name, value] : isa_speedups) speed.number(name, value);
+  for (const auto& [name, value] : variant_speedups) {
+    speed.number(name, value);
   }
-  out << "{\n  \"version\": 1,\n  \"bench\": \"bench_perf_infer\",\n";
-  out << "  \"results_ns_per_op\": {\n";
-  for (std::size_t i = 0; i < results.size(); ++i) {
-    out << "    \"" << results[i].name << "\": " << json_number(results[i].ns)
-        << (i + 1 < results.size() ? ",\n" : "\n");
+  std::vector<bench::JsonObject> variant_rows;
+  for (const Variant& v : variants) {
+    bench::JsonObject row;
+    row.text("name", v.name);
+    row.integer("modes", v.modes);
+    row.boolean("factorized", v.factorized);
+    row.text("precision", v.precision);
+    row.number("ns_per_op", v.ns, "%.1f");
+    row.raw("rel_l2_vs_fp32", bench::json_number(v.rel_l2, "%.3e"));
+    row.integer("spectral_weight_bytes", v.weight_bytes);
+    variant_rows.push_back(std::move(row));
   }
-  out << "  },\n";
-  out << "  \"speedup\": {\n";
-  out << "    \"engine_forward_vs_train\": " << json_number(speedup, "%.3f")
-      << (isa_speedups.empty() ? "\n" : ",\n");
-  for (std::size_t i = 0; i < isa_speedups.size(); ++i) {
-    out << "    \"" << isa_speedups[i].first
-        << "\": " << json_number(isa_speedups[i].second, "%.3f")
-        << (i + 1 < isa_speedups.size() ? ",\n" : "\n");
-  }
-  out << "  },\n";
-  out << "  \"throughput\": { \"batched_snapshots_per_s\": "
-      << json_number(snapshots_per_s, "%.1f")
-      << ", \"batched_trajectories\": " << nb << " },\n";
-  out << "  \"counters\": {\n";
-  out << "    \"infer/steady_state_allocs\": " << steady_allocs << ",\n";
-  out << "    \"infer/replans\": " << replans << ",\n";
-  out << "    \"infer/forward_calls\": " << forward_calls << "\n";
-  out << "  },\n";
-  out << "  \"gauges\": { \"infer/arena_bytes\": "
-      << json_number(arena_bytes, "%.0f") << " }\n}\n";
-  out.close();
-  std::cout << "wrote " << out_path << "\n";
-  return 0;
+  bench::JsonObject throughput;
+  throughput.number("batched_snapshots_per_s", snapshots_per_s, "%.1f");
+  throughput.integer("batched_trajectories", nb);
+  bench::JsonObject counters;
+  counters.integer("infer/steady_state_allocs", steady_allocs);
+  counters.integer("infer/replans", replans);
+  counters.integer("infer/forward_calls", forward_calls);
+  bench::JsonObject gauges;
+  gauges.number("infer/arena_bytes", arena_bytes, "%.0f");
+  bench::JsonObject doc;
+  doc.object("results_ns_per_op", std::move(res));
+  doc.object("speedup", std::move(speed));
+  doc.array("variants", std::move(variant_rows));
+  doc.object("throughput", std::move(throughput));
+  doc.object("counters", std::move(counters));
+  doc.object("gauges", std::move(gauges));
+  return bench::write_bench_json(out_path, "bench_perf_infer", std::move(doc))
+             ? 0
+             : 1;
 }

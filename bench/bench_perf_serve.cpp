@@ -2,37 +2,47 @@
 //
 // Drives serve::RolloutServer at increasing concurrency (1 / 64 / 512
 // sessions), recording throughput, nearest-rank p50/p99 session latency,
-// and micro-batch occupancy per level. Two correctness exercises ride
-// along and gate the exit code:
+// and micro-batch occupancy per level. Variant rows re-run a mid-size level
+// under each forced microkernel ISA (--isa / util::ScopedIsa) and at each
+// reduced serving precision (bf16 / fp16 engine pools), so the dispatch
+// tier and the weight-compression tier both show up in the trajectory
+// record. Three correctness exercises ride along and gate the exit code:
 //
 //   * bitwise verification — a small session set is served concurrently at
 //     thread-pool widths 1 and 4 and compared byte-for-byte against
-//     sequential core::run_single rollouts of the same seeds;
+//     sequential core::run_rollout calls of the same seeds;
+//   * compressed-serving contract — the same session set served through a
+//     bf16 engine pool must stay within the documented per-snapshot
+//     relative-L2 bound of the fp32 results (DESIGN.md "Precision tiers");
 //   * admission saturation — a deliberately tiny queue is overfilled and
 //     the reject-with-reason path (serve/admission_rejects) asserted.
 //
-// Flags (besides the shared --threads / --metrics-out / --serve-*):
-//   --out F       JSON output path (default BENCH_serving.json)
-//   --grid N      square grid extent for synthetic seeds (default 32)
-//   --steps N     snapshots per session (default 10)
+// Flags (besides the shared --threads / --isa / --metrics-out / --serve-*):
+//   --out F        JSON output path (default BENCH_serving.json)
+//   --grid N       square grid extent for synthetic seeds (default 32)
+//   --steps N      snapshots per session (default 10)
+//   --bf16-bound B per-snapshot rel-L2 bound for the bf16 gate (default 0.1)
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdint>
 #include <cstdio>
-#include <fstream>
 #include <iostream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "analysis/stats.hpp"
 #include "core/fno_propagator.hpp"
-#include "core/hybrid.hpp"
 #include "core/rollout_api.hpp"
 #include "fno/fno.hpp"
+#include "json_out.hpp"
 #include "lbm/initializer.hpp"
 #include "obs/obs.hpp"
 #include "serve/server.hpp"
 #include "util/cli.hpp"
+#include "util/isa.hpp"
+#include "util/precision.hpp"
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
 
@@ -84,6 +94,25 @@ bool bitwise_equal(const core::RolloutResult& a,
   return true;
 }
 
+/// Max over snapshots of the relative L2 difference (u1 and u2 pooled).
+double max_snapshot_rel_l2(const core::RolloutResult& a,
+                           const core::RolloutResult& ref) {
+  double worst = 0.0;
+  for (std::size_t k = 0; k < ref.trajectory.size(); ++k) {
+    const auto& sa = a.trajectory[k];
+    const auto& sr = ref.trajectory[k];
+    double num = 0.0, den = 0.0;
+    for (index_t i = 0; i < sr.u1.size(); ++i) {
+      const double d1 = sa.u1[i] - sr.u1[i];
+      const double d2 = sa.u2[i] - sr.u2[i];
+      num += d1 * d1 + d2 * d2;
+      den += sr.u1[i] * sr.u1[i] + sr.u2[i] * sr.u2[i];
+    }
+    worst = std::max(worst, std::sqrt(num / std::max(den, 1e-300)));
+  }
+  return worst;
+}
+
 struct LevelStats {
   index_t sessions = 0;
   double wall_seconds = 0.0;
@@ -94,10 +123,97 @@ struct LevelStats {
   double engine_pool_buckets = 0.0;
 };
 
-std::string json_number(double v, const char* fmt = "%.3f") {
-  char buf[64];
-  std::snprintf(buf, sizeof(buf), fmt, v);
-  return buf;
+index_t g_grid = 32;
+index_t g_steps = 10;
+index_t g_cin = 4;
+
+/// Run one throughput level: submit `sessions` requests, drain, collect
+/// stats. Exits the process on a rejected submit (the queue is sized to fit
+/// the level).
+LevelStats run_level(core::FnoPropagator& fno_prop, index_t sessions,
+                     util::Precision precision) {
+  serve::ServeConfig sc = serve::ServeConfig::from_runtime();
+  sc.queue_capacity = std::max(sc.queue_capacity, sessions);
+  sc.precision = precision;
+  serve::RolloutServer server(fno_prop, nullptr, sc);
+
+  // Seeds are prepared outside the timed region; the measured wall time is
+  // submission + scheduling + inference + retirement.
+  std::vector<core::RolloutRequest> requests;
+  requests.reserve(static_cast<std::size_t>(sessions));
+  for (index_t s = 0; s < sessions; ++s) {
+    core::RolloutRequest request;
+    request.seed = make_seed_history(g_grid, g_cin,
+                                     static_cast<std::uint64_t>(s) + 100);
+    request.steps = g_steps;
+    requests.push_back(std::move(request));
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
+  for (auto& request : requests) {
+    const serve::Admission admission = server.submit(std::move(request));
+    if (!admission.admitted) {
+      std::cerr << "level " << sessions
+                << " submit rejected: " << admission.reason << "\n";
+      std::exit(1);
+    }
+  }
+  server.drain();
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  const serve::RolloutServer::LatencyStats latency = server.latency_stats();
+  LevelStats stats;
+  stats.sessions = sessions;
+  stats.wall_seconds = wall;
+  stats.snapshots_per_s =
+      static_cast<double>(sessions * g_steps) / std::max(wall, 1e-12);
+  stats.latency_p50_ms = latency.p50_ms;
+  stats.latency_p99_ms = latency.p99_ms;
+  stats.batch_occupancy_mean = server.mean_batch_occupancy();
+  stats.engine_pool_buckets = static_cast<double>(server.engine_pool().size());
+  return stats;
+}
+
+bench::JsonObject level_row(const LevelStats& s) {
+  bench::JsonObject row;
+  row.integer("sessions", s.sessions);
+  row.number("wall_seconds", s.wall_seconds, "%.4f");
+  row.number("snapshots_per_s", s.snapshots_per_s, "%.1f");
+  row.number("latency_p50_ms", s.latency_p50_ms);
+  row.number("latency_p99_ms", s.latency_p99_ms);
+  row.number("batch_occupancy_mean", s.batch_occupancy_mean);
+  row.number("engine_pool_buckets", s.engine_pool_buckets, "%.0f");
+  return row;
+}
+
+/// Serve `n` sessions and return their results in submission order.
+std::vector<core::RolloutResult> serve_batch(core::FnoPropagator& fno_prop,
+                                             index_t n,
+                                             util::Precision precision) {
+  serve::ServeConfig sc = serve::ServeConfig::from_runtime();
+  sc.batch_window = 3;  // force a full chunk plus a tail chunk
+  sc.precision = precision;
+  serve::RolloutServer server(fno_prop, nullptr, sc);
+  std::vector<serve::SessionId> ids;
+  for (index_t s = 0; s < n; ++s) {
+    core::RolloutRequest request;
+    request.seed = make_seed_history(g_grid, g_cin,
+                                     static_cast<std::uint64_t>(s) + 7);
+    request.steps = g_steps;
+    const serve::Admission admission = server.submit(std::move(request));
+    if (!admission.admitted) {
+      std::cerr << "verify submit rejected: " << admission.reason << "\n";
+      std::exit(1);
+    }
+    ids.push_back(admission.id);
+  }
+  server.drain();
+  std::vector<core::RolloutResult> out;
+  out.reserve(ids.size());
+  for (const serve::SessionId id : ids) out.push_back(server.take(id));
+  return out;
 }
 
 }  // namespace
@@ -106,112 +222,114 @@ int main(int argc, char** argv) {
   const CliArgs args(argc, argv);
   apply_runtime_flags(args);
   const std::string out_path = args.get("out", "BENCH_serving.json");
-  const auto grid = static_cast<index_t>(args.get_int("grid", 32));
-  const auto steps = static_cast<index_t>(args.get_int("steps", 10));
+  g_grid = static_cast<index_t>(args.get_int("grid", 32));
+  g_steps = static_cast<index_t>(args.get_int("steps", 10));
+  const double bf16_bound = args.get_double("bf16-bound", 0.1);
 
   const fno::FnoConfig cfg = bench_fno_config();
+  g_cin = cfg.in_channels;
   Rng rng(3);
   fno::Fno model(cfg, rng);
   core::FnoPropagator fno_prop(model, analysis::Normalizer(0.0, 1.0),
                                kDtSnap);
 
   // --- bitwise verification at pool widths 1 and 4 -----------------------
+  const index_t n_verify = 4;
   bool bitwise_ok = true;
-  {
-    const index_t n_verify = 4;
-    for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
-      ThreadPool::Scope scope(threads);
-      std::vector<core::RolloutResult> sequential;
-      for (index_t s = 0; s < n_verify; ++s) {
-        sequential.push_back(core::run_single(
-            fno_prop,
-            make_seed_history(grid, cfg.in_channels,
-                              static_cast<std::uint64_t>(s) + 7),
-            steps));
-      }
-      serve::ServeConfig sc = serve::ServeConfig::from_runtime();
-      sc.batch_window = 3;  // force a full chunk plus a tail chunk
-      serve::RolloutServer server(fno_prop, nullptr, sc);
-      std::vector<serve::SessionId> ids;
-      for (index_t s = 0; s < n_verify; ++s) {
-        core::RolloutRequest request;
-        request.seed = make_seed_history(grid, cfg.in_channels,
-                                         static_cast<std::uint64_t>(s) + 7);
-        request.steps = steps;
-        const serve::Admission admission = server.submit(std::move(request));
-        if (!admission.admitted) {
-          std::cerr << "verify submit rejected: " << admission.reason << "\n";
-          return 1;
-        }
-        ids.push_back(admission.id);
-      }
-      server.drain();
-      for (index_t s = 0; s < n_verify; ++s) {
-        if (!bitwise_equal(sequential[static_cast<std::size_t>(s)],
-                           server.take(ids[static_cast<std::size_t>(s)]))) {
-          std::cerr << "BITWISE MISMATCH: session " << s << " at threads "
-                    << threads << "\n";
-          bitwise_ok = false;
-        }
+  std::vector<core::RolloutResult> fp32_sequential;
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    ThreadPool::Scope scope(threads);
+    std::vector<core::RolloutResult> sequential;
+    for (index_t s = 0; s < n_verify; ++s) {
+      core::RolloutRequest request;
+      request.seed = make_seed_history(g_grid, g_cin,
+                                       static_cast<std::uint64_t>(s) + 7);
+      request.steps = g_steps;
+      sequential.push_back(core::run_rollout(fno_prop, request));
+    }
+    const std::vector<core::RolloutResult> concurrent =
+        serve_batch(fno_prop, n_verify, util::Precision::kFp32);
+    for (index_t s = 0; s < n_verify; ++s) {
+      if (!bitwise_equal(sequential[static_cast<std::size_t>(s)],
+                         concurrent[static_cast<std::size_t>(s)])) {
+        std::cerr << "BITWISE MISMATCH: session " << s << " at threads "
+                  << threads << "\n";
+        bitwise_ok = false;
       }
     }
+    fp32_sequential = std::move(sequential);
   }
   std::printf("bitwise concurrent == sequential (threads 1,4): %s\n",
               bitwise_ok ? "true" : "FALSE");
 
-  // --- throughput levels -------------------------------------------------
-  const std::vector<index_t> levels = {1, 64, 512};
+  // --- compressed-serving contract (bf16 pool vs fp32 results) -----------
+  // Same sessions through a bf16 engine pool: deterministic (asserted by
+  // tests at fixed ISA), but only error-bounded against fp32 — the gate
+  // checks the documented per-snapshot relative-L2 bound.
+  double bf16_worst_rel_l2 = 0.0;
+  {
+    const std::vector<core::RolloutResult> compressed =
+        serve_batch(fno_prop, n_verify, util::Precision::kBf16);
+    for (index_t s = 0; s < n_verify; ++s) {
+      bf16_worst_rel_l2 = std::max(
+          bf16_worst_rel_l2,
+          max_snapshot_rel_l2(compressed[static_cast<std::size_t>(s)],
+                              fp32_sequential[static_cast<std::size_t>(s)]));
+    }
+  }
+  const bool bf16_ok = bf16_worst_rel_l2 <= bf16_bound;
+  std::printf("bf16 serving worst per-snapshot rel-L2 %.3e (bound %.1e): %s\n",
+              bf16_worst_rel_l2, bf16_bound, bf16_ok ? "ok" : "EXCEEDED");
+
+  // --- throughput levels (runtime ISA & precision) -----------------------
   std::vector<LevelStats> level_stats;
-  for (const index_t level : levels) {
-    serve::ServeConfig sc = serve::ServeConfig::from_runtime();
-    sc.queue_capacity = std::max(sc.queue_capacity, level);
-    serve::RolloutServer server(fno_prop, nullptr, sc);
-
-    // Seeds are prepared outside the timed region; the measured wall time is
-    // submission + scheduling + inference + retirement.
-    std::vector<core::RolloutRequest> requests;
-    requests.reserve(static_cast<std::size_t>(level));
-    for (index_t s = 0; s < level; ++s) {
-      core::RolloutRequest request;
-      request.seed = make_seed_history(grid, cfg.in_channels,
-                                       static_cast<std::uint64_t>(s) + 100);
-      request.steps = steps;
-      requests.push_back(std::move(request));
-    }
-
-    const auto t0 = std::chrono::steady_clock::now();
-    for (auto& request : requests) {
-      const serve::Admission admission = server.submit(std::move(request));
-      if (!admission.admitted) {
-        std::cerr << "level " << level
-                  << " submit rejected: " << admission.reason << "\n";
-        return 1;
-      }
-    }
-    server.drain();
-    const double wall =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-            .count();
-
-    const serve::RolloutServer::LatencyStats latency =
-        server.latency_stats();
-    LevelStats stats;
-    stats.sessions = level;
-    stats.wall_seconds = wall;
-    stats.snapshots_per_s =
-        static_cast<double>(level * steps) / std::max(wall, 1e-12);
-    stats.latency_p50_ms = latency.p50_ms;
-    stats.latency_p99_ms = latency.p99_ms;
-    stats.batch_occupancy_mean = server.mean_batch_occupancy();
-    stats.engine_pool_buckets =
-        static_cast<double>(server.engine_pool().size());
+  for (const index_t level : {index_t{1}, index_t{64}, index_t{512}}) {
+    const LevelStats stats =
+        run_level(fno_prop, level, serve::ServeConfig::from_runtime().precision);
     level_stats.push_back(stats);
     std::printf(
         "sessions %5lld  wall %8.3f s  %10.1f snap/s  p50 %8.2f ms  "
         "p99 %8.2f ms  occupancy %5.2f\n",
-        static_cast<long long>(level), wall, stats.snapshots_per_s,
-        stats.latency_p50_ms, stats.latency_p99_ms,
+        static_cast<long long>(level), stats.wall_seconds,
+        stats.snapshots_per_s, stats.latency_p50_ms, stats.latency_p99_ms,
         stats.batch_occupancy_mean);
+  }
+
+  // --- variant rows: per-ISA and per-precision ---------------------------
+  // One mid-size level per variant. ISA rows force the microkernel tier
+  // process-wide (scalar everywhere; avx2 only where the host supports it);
+  // precision rows compress the pooled engines' weights.
+  const index_t variant_level = 64;
+  struct VariantRow {
+    std::string isa;
+    std::string precision;
+    LevelStats stats;
+  };
+  std::vector<VariantRow> variant_rows;
+  {
+    std::vector<util::Isa> isas = {util::Isa::kScalar};
+    if (util::cpu_supports_avx2()) isas.push_back(util::Isa::kAvx2);
+    for (const util::Isa isa : isas) {
+      util::ScopedIsa forced(isa);
+      VariantRow row;
+      row.isa = util::isa_name(isa);
+      row.precision = "fp32";
+      row.stats = run_level(fno_prop, variant_level, util::Precision::kFp32);
+      variant_rows.push_back(std::move(row));
+    }
+    for (const util::Precision prec :
+         {util::Precision::kBf16, util::Precision::kFp16}) {
+      VariantRow row;
+      row.isa = util::isa_name(util::active_isa());
+      row.precision = util::precision_name(prec);
+      row.stats = run_level(fno_prop, variant_level, prec);
+      variant_rows.push_back(std::move(row));
+    }
+    for (const VariantRow& row : variant_rows) {
+      std::printf("variant isa=%-6s precision=%-4s  %10.1f snap/s\n",
+                  row.isa.c_str(), row.precision.c_str(),
+                  row.stats.snapshots_per_s);
+    }
   }
 
   // --- admission saturation ---------------------------------------------
@@ -224,7 +342,7 @@ int main(int argc, char** argv) {
     serve::RolloutServer server(fno_prop, nullptr, sc);
     for (index_t s = 0; s < 4; ++s) {
       core::RolloutRequest request;
-      request.seed = make_seed_history(grid, cfg.in_channels,
+      request.seed = make_seed_history(g_grid, g_cin,
                                        static_cast<std::uint64_t>(s) + 900);
       request.steps = 1;
       if (!server.submit(std::move(request)).admitted) ++rejected;
@@ -246,57 +364,58 @@ int main(int argc, char** argv) {
               static_cast<long long>(steady_allocs));
 
   // --- JSON trajectory record -------------------------------------------
-  std::ofstream out(out_path);
-  if (!out.good()) {
-    std::cerr << "bench_perf_serve: cannot write " << out_path << "\n";
+  bench::JsonObject doc;
+  doc.integer("grid", g_grid);
+  doc.integer("steps", g_steps);
+  doc.boolean("bitwise_identical_threads_1_4", bitwise_ok);
+  bench::JsonObject compressed;
+  compressed.text("precision", "bf16");
+  compressed.raw("worst_snapshot_rel_l2_vs_fp32",
+                 bench::json_number(bf16_worst_rel_l2, "%.3e"));
+  compressed.raw("bound", bench::json_number(bf16_bound, "%.1e"));
+  compressed.boolean("within_bound", bf16_ok);
+  doc.object("compressed_serving", std::move(compressed));
+  std::vector<bench::JsonObject> level_rows;
+  for (const LevelStats& s : level_stats) level_rows.push_back(level_row(s));
+  doc.array("levels", std::move(level_rows));
+  std::vector<bench::JsonObject> vrows;
+  for (const VariantRow& v : variant_rows) {
+    bench::JsonObject row;
+    row.text("isa", v.isa);
+    row.text("precision", v.precision);
+    bench::JsonObject stats = level_row(v.stats);
+    row.object("stats", std::move(stats));
+    vrows.push_back(std::move(row));
+  }
+  doc.array("variants", std::move(vrows));
+  bench::JsonObject saturation;
+  saturation.integer("submitted", 4);
+  saturation.integer("queue_capacity", 2);
+  saturation.integer("rejected", rejected);
+  doc.object("saturation", std::move(saturation));
+  bench::JsonObject counters;
+  counters.integer("serve/admitted", obs::counter("serve/admitted").value());
+  counters.integer("serve/completed",
+                   obs::counter("serve/completed").value());
+  counters.integer("serve/admission_rejects",
+                   obs::counter("serve/admission_rejects").value());
+  counters.integer("serve/batches", obs::counter("serve/batches").value());
+  counters.integer("serve/batched_streams",
+                   obs::counter("serve/batched_streams").value());
+  counters.integer("serve/snapshots",
+                   obs::counter("serve/snapshots").value());
+  counters.integer("infer/steady_state_allocs", steady_allocs);
+  doc.object("counters", std::move(counters));
+  bench::JsonObject gauges;
+  gauges.number("serve/engine_pool_buckets",
+                obs::gauge("serve/engine_pool_buckets").value(), "%.0f");
+  gauges.number("serve/latency_p50_ms",
+                obs::gauge("serve/latency_p50_ms").value());
+  gauges.number("serve/latency_p99_ms",
+                obs::gauge("serve/latency_p99_ms").value());
+  doc.object("gauges", std::move(gauges));
+  if (!bench::write_bench_json(out_path, "bench_perf_serve", std::move(doc))) {
     return 1;
   }
-  out << "{\n  \"version\": 1,\n  \"bench\": \"bench_perf_serve\",\n";
-  out << "  \"grid\": " << grid << ",\n  \"steps\": " << steps << ",\n";
-  out << "  \"bitwise_identical_threads_1_4\": "
-      << (bitwise_ok ? "true" : "false") << ",\n";
-  out << "  \"levels\": [\n";
-  for (std::size_t i = 0; i < level_stats.size(); ++i) {
-    const LevelStats& s = level_stats[i];
-    out << "    { \"sessions\": " << s.sessions << ", \"wall_seconds\": "
-        << json_number(s.wall_seconds, "%.4f") << ", \"snapshots_per_s\": "
-        << json_number(s.snapshots_per_s, "%.1f")
-        << ", \"latency_p50_ms\": " << json_number(s.latency_p50_ms)
-        << ", \"latency_p99_ms\": " << json_number(s.latency_p99_ms)
-        << ", \"batch_occupancy_mean\": "
-        << json_number(s.batch_occupancy_mean)
-        << ", \"engine_pool_buckets\": "
-        << json_number(s.engine_pool_buckets, "%.0f") << " }"
-        << (i + 1 < level_stats.size() ? ",\n" : "\n");
-  }
-  out << "  ],\n";
-  out << "  \"saturation\": { \"submitted\": 4, \"queue_capacity\": 2, "
-      << "\"rejected\": " << rejected << " },\n";
-  out << "  \"counters\": {\n";
-  out << "    \"serve/admitted\": " << obs::counter("serve/admitted").value()
-      << ",\n";
-  out << "    \"serve/completed\": "
-      << obs::counter("serve/completed").value() << ",\n";
-  out << "    \"serve/admission_rejects\": "
-      << obs::counter("serve/admission_rejects").value() << ",\n";
-  out << "    \"serve/batches\": " << obs::counter("serve/batches").value()
-      << ",\n";
-  out << "    \"serve/batched_streams\": "
-      << obs::counter("serve/batched_streams").value() << ",\n";
-  out << "    \"serve/snapshots\": "
-      << obs::counter("serve/snapshots").value() << ",\n";
-  out << "    \"infer/steady_state_allocs\": " << steady_allocs << "\n";
-  out << "  },\n";
-  out << "  \"gauges\": {\n";
-  out << "    \"serve/engine_pool_buckets\": "
-      << json_number(obs::gauge("serve/engine_pool_buckets").value(), "%.0f")
-      << ",\n";
-  out << "    \"serve/latency_p50_ms\": "
-      << json_number(obs::gauge("serve/latency_p50_ms").value()) << ",\n";
-  out << "    \"serve/latency_p99_ms\": "
-      << json_number(obs::gauge("serve/latency_p99_ms").value()) << "\n";
-  out << "  }\n}\n";
-  out.close();
-  std::cout << "wrote " << out_path << "\n";
-  return bitwise_ok ? 0 : 1;
+  return (bitwise_ok && bf16_ok) ? 0 : 1;
 }

@@ -4,13 +4,16 @@
 // hot path: the batched 2-D real FFT, the SpectralConv forward/backward at
 // paper-shaped hyperparameters (N=64, modes=12) with mode pruning on AND
 // off (the off numbers are the full-transform baseline the speedup is
-// measured against — results are bitwise identical either way), the GEMM
-// panel kernels, and a full train step of the small FNO fixture. Per-ISA
-// roofline rows (suffix _scalar / _avx2) re-time the GEMM shapes and a raw
-// c2c transform under each forced ISA (util::ScopedIsa) so the dispatch
-// layer's speedup is recorded alongside the mainline numbers. The
-// fft/pruned_lines_skipped and fft/lines_total counters are exported so
-// pruning coverage rides along with the timings.
+// measured against — results are bitwise identical either way), the
+// factorized (F-FNO) parameterisation at modes 12 and 20 next to its dense
+// counterparts (the _fact rows pay a dense materialisation per step but
+// carry O(m) instead of O(m^r) parameters), the GEMM panel kernels, and a
+// full train step of the small FNO fixture. Per-ISA roofline rows (suffix
+// _scalar / _avx2) re-time the GEMM shapes and a raw c2c transform under
+// each forced ISA (util::ScopedIsa) so the dispatch layer's speedup is
+// recorded alongside the mainline numbers. The fft/pruned_lines_skipped and
+// fft/lines_total counters are exported so pruning coverage rides along
+// with the timings.
 //
 // Flags (besides the shared --threads / --metrics-out):
 //   --out F            JSON output path (default BENCH_spectral.json)
@@ -31,6 +34,7 @@
 #include "fft/plan.hpp"
 #include "fno/fno.hpp"
 #include "fno/trainer.hpp"
+#include "json_out.hpp"
 #include "nn/dataloader.hpp"
 #include "nn/spectral_conv.hpp"
 #include "obs/obs.hpp"
@@ -76,12 +80,12 @@ TensorF random_tensor(Shape shape, std::uint64_t seed) {
   return x;
 }
 
-/// SpectralConv fwd / bwd / fwd+bwd at N=64, modes=12 — the acceptance
-/// microbench. Returns {fwd, bwd, fwdbwd} ns/op for the current pruning
-/// setting.
-std::vector<Entry> bench_spectral(const std::string& suffix) {
-  Rng rng(7);
-  nn::SpectralConv conv(8, 8, {12, 12}, rng);
+/// Spectral-layer fwd / bwd / fwd+bwd at N=64 — the acceptance microbench.
+/// Returns {fwd, bwd, fwdbwd} ns/op for the layer under the current pruning
+/// setting; works for both the dense and factorized parameterisations
+/// through the common SpectralLayer interface.
+std::vector<Entry> bench_spectral(nn::SpectralLayer& conv,
+                                  const std::string& suffix) {
   const TensorF x = random_tensor({8, 8, 64, 64}, 11);
   const TensorF gy = random_tensor({8, 8, 64, 64}, 12);
   // Prime the activation cache so bwd can be timed standalone.
@@ -120,12 +124,6 @@ double bench_train_step() {
          static_cast<double>(steps_per_epoch);
 }
 
-std::string json_number(double v, const char* fmt = "%.1f") {
-  char buf[64];
-  std::snprintf(buf, sizeof(buf), fmt, v);
-  return buf;
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -150,13 +148,41 @@ int main(int argc, char** argv) {
   }
 
   // 2. SpectralConv with full transforms (baseline), then pruned.
+  Rng conv_rng(7);
+  nn::SpectralConv conv12(8, 8, {12, 12}, conv_rng);
   nn::SpectralConv::set_pruning(false);
-  const std::vector<Entry> full = bench_spectral("full");
+  const std::vector<Entry> full = bench_spectral(conv12, "full");
   nn::SpectralConv::set_pruning(true);
-  const std::vector<Entry> pruned = bench_spectral("pruned");
+  const std::vector<Entry> pruned = bench_spectral(conv12, "pruned");
   results.insert(results.end(), full.begin(), full.end());
   results.insert(results.end(), pruned.begin(), pruned.end());
   const double speedup = full.back().ns / pruned.back().ns;
+
+  // 2b. Factorized (F-FNO) parameterisation at modes 12, and both
+  //     parameterisations at modes 20 where the per-axis factor count
+  //     (width²·Σm_d·2 params) pulls further ahead of the dense tensor
+  //     (width²·∏m_d·2). Pruning stays on — these rows compare weight
+  //     layouts, not transform pruning.
+  std::vector<std::pair<std::string, double>> fact_speedups;
+  {
+    Rng rng_f12(8);
+    nn::FactorizedSpectralConv fact12(8, 8, {12, 12}, rng_f12);
+    const std::vector<Entry> f12 = bench_spectral(fact12, "fact_m12");
+    results.insert(results.end(), f12.begin(), f12.end());
+    fact_speedups.emplace_back("spectral_fwdbwd_fact_vs_dense_m12",
+                               pruned.back().ns / f12.back().ns);
+
+    Rng rng_d20(9);
+    nn::SpectralConv dense20(8, 8, {20, 20}, rng_d20);
+    const std::vector<Entry> d20 = bench_spectral(dense20, "dense_m20");
+    results.insert(results.end(), d20.begin(), d20.end());
+    Rng rng_f20(10);
+    nn::FactorizedSpectralConv fact20(8, 8, {20, 20}, rng_f20);
+    const std::vector<Entry> f20 = bench_spectral(fact20, "fact_m20");
+    results.insert(results.end(), f20.begin(), f20.end());
+    fact_speedups.emplace_back("spectral_fwdbwd_fact_vs_dense_m20",
+                               d20.back().ns / f20.back().ns);
+  }
 
   // 3. GEMM panel kernels: a Linear-shaped call (rows = batch·spatial) and a
   //    square one for raw arithmetic density.
@@ -241,6 +267,9 @@ int main(int argc, char** argv) {
     std::printf("%-28s %14.1f ns/op\n", e.name.c_str(), e.ns);
   }
   std::printf("%-28s %14.2fx\n", "spectral fwd+bwd speedup", speedup);
+  for (const auto& [name, value] : fact_speedups) {
+    std::printf("%-36s %6.2fx\n", name.c_str(), value);
+  }
   for (const auto& [name, value] : speedups) {
     std::printf("%-28s %14.2fx\n", name.c_str(), value);
   }
@@ -248,33 +277,20 @@ int main(int argc, char** argv) {
               static_cast<long long>(skipped), static_cast<long long>(total));
 
   // JSON trajectory record.
-  std::ofstream out(out_path);
-  if (!out.good()) {
-    std::cerr << "bench_perf_train: cannot write " << out_path << "\n";
-    return 1;
-  }
-  out << "{\n  \"version\": 1,\n  \"bench\": \"bench_perf_train\",\n";
-  out << "  \"results_ns_per_op\": {\n";
-  for (std::size_t i = 0; i < results.size(); ++i) {
-    out << "    \"" << results[i].name << "\": " << json_number(results[i].ns)
-        << (i + 1 < results.size() ? ",\n" : "\n");
-  }
-  out << "  },\n";
-  out << "  \"speedup\": {\n";
-  out << "    \"spectral_fwdbwd_pruned_vs_full\": "
-      << json_number(speedup, "%.3f")
-      << (speedups.empty() ? "\n" : ",\n");
-  for (std::size_t i = 0; i < speedups.size(); ++i) {
-    out << "    \"" << speedups[i].first
-        << "\": " << json_number(speedups[i].second, "%.3f")
-        << (i + 1 < speedups.size() ? ",\n" : "\n");
-  }
-  out << "  },\n";
-  out << "  \"counters\": {\n";
-  out << "    \"fft/pruned_lines_skipped\": " << skipped << ",\n";
-  out << "    \"fft/lines_total\": " << total << "\n";
-  out << "  }\n}\n";
-  out.close();
-  std::cout << "wrote " << out_path << "\n";
-  return 0;
+  bench::JsonObject res;
+  for (const Entry& e : results) res.number(e.name, e.ns, "%.1f");
+  bench::JsonObject speed;
+  speed.number("spectral_fwdbwd_pruned_vs_full", speedup);
+  for (const auto& [name, value] : fact_speedups) speed.number(name, value);
+  for (const auto& [name, value] : speedups) speed.number(name, value);
+  bench::JsonObject counters;
+  counters.integer("fft/pruned_lines_skipped", skipped);
+  counters.integer("fft/lines_total", total);
+  bench::JsonObject doc;
+  doc.object("results_ns_per_op", std::move(res));
+  doc.object("speedup", std::move(speed));
+  doc.object("counters", std::move(counters));
+  return bench::write_bench_json(out_path, "bench_perf_train", std::move(doc))
+             ? 0
+             : 1;
 }

@@ -117,13 +117,15 @@ std::vector<double> rollout_errors_2d(fno::Fno& model,
 
   std::vector<double> err(static_cast<std::size_t>(max_steps), 0.0);
   index_t count = 0;
+  infer::InferenceEngine engine(model);  // one plan reused across samples
+  TensorF traj;
   for (const data::SnapshotSeries& series : heldout.samples) {
     TURB_CHECK(series.steps() >= cin + max_steps);
     for (const TensorF* field : {&series.u1, &series.u2}) {
       TensorF history({cin, h, w});
       std::copy_n(field->data(), cin * frame, history.data());
       norm.apply(history);
-      const TensorF traj = fno::rollout_channels(model, history, max_steps);
+      engine.rollout_channels_into(history, max_steps, traj);
       for (index_t s = 0; s < max_steps; ++s) {
         TensorD pred({h, w}), truth({h, w});
         for (index_t i = 0; i < frame; ++i) {
@@ -151,12 +153,14 @@ std::vector<double> rollout_errors_3d(fno::Fno& model,
 
   std::vector<double> err(static_cast<std::size_t>(block), 0.0);
   index_t count = 0;
+  infer::InferenceEngine engine(model);
+  TensorF traj;
   for (const data::SnapshotSeries& series : heldout.samples) {
     TURB_CHECK(series.steps() >= 2 * block);
     TensorF seed({block, h, w});
     std::copy_n(series.omega.data(), block * frame, seed.data());
     norm.apply(seed);
-    const TensorF traj = fno::rollout_3d(model, seed, 1);
+    engine.rollout_3d_into(seed, 1, traj);
     for (index_t s = 0; s < block; ++s) {
       TensorD pred({h, w}), truth({h, w});
       for (index_t i = 0; i < frame; ++i) {

@@ -1,0 +1,147 @@
+// Shared JSON emission for the perf benches (→ BENCH_*.json).
+//
+// The three perf harnesses (bench_perf_train, bench_perf_infer,
+// bench_perf_serve) each used to hand-roll the same `{ "version": 1, ... }`
+// trajectory record with manual comma bookkeeping; the subtle last-field
+// logic was duplicated three times and drifted. JsonObject keeps insertion
+// order (the records are diffed between runs, so stable field order
+// matters), renders nested objects indented and array rows on one line —
+// byte-compatible with the historical hand-rolled output — and
+// write_bench_json() wraps the version header, file-open error message, and
+// the closing "wrote <path>" line every bench printed.
+//
+// This is an emitter, not a JSON library: keys and string values are
+// expected to be plain ASCII without quotes or control characters (true for
+// every metric name in the repo) and are not escaped.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace turb::bench {
+
+/// Fixed-format number rendering (snprintf semantics, default "%.3f").
+inline std::string json_number(double v, const char* fmt = "%.3f") {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), fmt, v);
+  return buf;
+}
+
+/// Ordered JSON object builder. All setters return *this for chaining.
+class JsonObject {
+ public:
+  /// Pre-rendered literal (number, bool, nested text — caller's job).
+  JsonObject& raw(std::string key, std::string literal) {
+    fields_.push_back({std::move(key), Kind::kScalar, std::move(literal), {}});
+    return *this;
+  }
+  JsonObject& number(std::string key, double v, const char* fmt = "%.3f") {
+    return raw(std::move(key), json_number(v, fmt));
+  }
+  JsonObject& integer(std::string key, std::int64_t v) {
+    return raw(std::move(key), std::to_string(v));
+  }
+  JsonObject& boolean(std::string key, bool v) {
+    return raw(std::move(key), v ? "true" : "false");
+  }
+  JsonObject& text(std::string key, const std::string& v) {
+    return raw(std::move(key), "\"" + v + "\"");
+  }
+  JsonObject& object(std::string key, JsonObject child) {
+    fields_.push_back({std::move(key), Kind::kObject, {},
+                       {std::move(child)}});
+    return *this;
+  }
+  JsonObject& array(std::string key, std::vector<JsonObject> rows) {
+    fields_.push_back({std::move(key), Kind::kArray, {}, std::move(rows)});
+    return *this;
+  }
+
+  [[nodiscard]] bool empty() const { return fields_.empty(); }
+
+  /// Multi-line render at 2-space-per-depth indentation; array rows render
+  /// on a single line each.
+  [[nodiscard]] std::string render(int depth = 0) const {
+    const std::string pad(static_cast<std::size_t>(2 * (depth + 1)), ' ');
+    std::string out = "{\n";
+    for (std::size_t i = 0; i < fields_.size(); ++i) {
+      const Field& f = fields_[i];
+      out += pad + "\"" + f.key + "\": ";
+      switch (f.kind) {
+        case Kind::kScalar:
+          out += f.scalar;
+          break;
+        case Kind::kObject:
+          out += f.children.front().render(depth + 1);
+          break;
+        case Kind::kArray: {
+          out += "[\n";
+          for (std::size_t r = 0; r < f.children.size(); ++r) {
+            out += pad + "  " + f.children[r].render_inline();
+            out += (r + 1 < f.children.size()) ? ",\n" : "\n";
+          }
+          out += pad + "]";
+          break;
+        }
+      }
+      out += (i + 1 < fields_.size()) ? ",\n" : "\n";
+    }
+    out += std::string(static_cast<std::size_t>(2 * depth), ' ') + "}";
+    return out;
+  }
+
+  /// Single-line render (array rows).
+  [[nodiscard]] std::string render_inline() const {
+    std::string out = "{ ";
+    for (std::size_t i = 0; i < fields_.size(); ++i) {
+      const Field& f = fields_[i];
+      out += "\"" + f.key + "\": ";
+      out += f.kind == Kind::kScalar ? f.scalar
+                                     : f.children.front().render_inline();
+      if (i + 1 < fields_.size()) out += ", ";
+    }
+    return out + " }";
+  }
+
+ private:
+  enum class Kind { kScalar, kObject, kArray };
+  struct Field {
+    std::string key;
+    Kind kind = Kind::kScalar;
+    std::string scalar;
+    std::vector<JsonObject> children;  ///< [0] for kObject; rows for kArray
+  };
+  std::vector<Field> fields_;
+};
+
+/// Write the standard bench trajectory record: `body` prefixed with the
+/// schema version and bench name. Prints "wrote <path>" on success, an error
+/// on failure; returns false when the file cannot be written.
+inline bool write_bench_json(const std::string& path,
+                             const std::string& bench_name, JsonObject body) {
+  std::ofstream out(path);
+  if (!out.good()) {
+    std::cerr << bench_name << ": cannot write " << path << "\n";
+    return false;
+  }
+  out << "{\n  \"version\": 1,\n  \"bench\": \"" << bench_name << "\"";
+  if (body.empty()) {
+    out << "\n}\n";
+  } else {
+    // body renders as "{\n  ...\n}"; drop its opening brace and splice its
+    // fields after the header ones.
+    std::string rendered = body.render();
+    rendered.erase(0, 1);
+    out << "," << rendered << "\n";
+  }
+  out.close();
+  std::cout << "wrote " << path << "\n";
+  return true;
+}
+
+}  // namespace turb::bench

@@ -120,8 +120,11 @@ int main(int argc, char** argv) {
   core::PdePropagator pde_b(make_pde(), gen.dt_tc);
   core::PdePropagator pde_c(make_pde(), gen.dt_tc);
 
-  const core::RolloutResult pde_run = run_single(pde_a, seed, horizon);
-  const core::RolloutResult fno_run = run_single(fno_prop, seed, horizon);
+  core::RolloutRequest roll_req;
+  roll_req.seed = seed;
+  roll_req.steps = horizon;
+  const core::RolloutResult pde_run = core::run_rollout(pde_a, roll_req);
+  const core::RolloutResult fno_run = core::run_rollout(fno_prop, roll_req);
   core::HybridConfig hybrid_cfg;
   hybrid_cfg.fno_snapshots = 5;
   hybrid_cfg.pde_snapshots = 5;

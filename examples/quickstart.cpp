@@ -80,7 +80,9 @@ int main(int argc, char** argv) {
   TensorF history({10, grid, grid});
   std::copy_n(fresh.u1.data(), 10 * frame, history.data());
   norm.apply(history);
-  const TensorF traj = fno::rollout_channels(model, history, 15);
+  infer::InferenceEngine engine(model);
+  TensorF traj;
+  engine.rollout_channels_into(history, 15, traj);
   for (const index_t step : {index_t{1}, index_t{5}, index_t{15}}) {
     TensorD pred({grid, grid}), truth({grid, grid});
     for (index_t i = 0; i < frame; ++i) {

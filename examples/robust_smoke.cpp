@@ -4,6 +4,9 @@
 //   1. save a checkpoint, corrupt it (bit flip, truncation), and verify the
 //      loader rejects each corruption with a "corrupt checkpoint" error
 //      while `robust/corrupt_rejected` increments;
+//   1b. checkpoint format matrix: a TNN3 bf16 save round-trips to exactly
+//      the RNE-quantized values, and legacy v2 (CRC) and v1 (pre-CRC)
+//      payloads still load;
 //   2. run a hybrid rollout whose surrogate is forced to diverge
 //      (core::DivergentPropagator) and verify the guard trips, the
 //      trajectory stays finite, and PDE fallback windows appear.
@@ -13,15 +16,18 @@
 //
 // Run:  ./robust_smoke [--grid 32] [--snapshots 16] [--metrics-out m.json]
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <string>
+#include <vector>
 
 #include "core/fault_injection.hpp"
 #include "core/turbfno.hpp"
 #include "nn/linear.hpp"
 #include "util/cli.hpp"
+#include "util/precision.hpp"
 
 namespace {
 
@@ -86,6 +92,53 @@ int main(int argc, char** argv) {
   write_file(ckpt, good);
   nn::load_parameters(ckpt, layer.parameters());
   expect(true, "restored checkpoint loads again");
+
+  // --- checkpoint format matrix: v3 round-trip, v2 + v1 backcompat -------
+  {
+    nn::Linear saved(4, 4, rng), loaded(4, 4, rng);
+    nn::SaveOptions v3opts;
+    v3opts.precision = util::Precision::kBf16;
+    nn::save_parameters(ckpt, saved.parameters(), {{"dt_tc", 0.01}}, v3opts);
+    const std::string v3bytes = read_file(ckpt);
+    expect(v3bytes.compare(0, 4, "TNN3") == 0,
+           "compressed checkpoint saved in TNN3 format");
+    nn::load_parameters(ckpt, loaded.parameters());
+    bool quantized_ok = true;
+    for (index_t i = 0; i < saved.weight().value.size(); ++i) {
+      const float expected = util::bf16_to_float(
+          util::float_to_bf16(saved.weight().value[i]));
+      quantized_ok = quantized_ok && loaded.weight().value[i] == expected;
+    }
+    expect(quantized_ok, "TNN3 bf16 payload round-trips RNE-quantized");
+
+    // v2 is what the plain save above wrote ("restored checkpoint loads
+    // again" is the v2 leg); v1 needs a hand-rolled pre-CRC payload.
+    std::string v1 = "TNN1";
+    const auto put_u32 = [&v1](std::uint32_t v) {
+      v1.append(reinterpret_cast<const char*>(&v), 4);
+    };
+    const std::vector<nn::Parameter*> params = saved.parameters();
+    put_u32(static_cast<std::uint32_t>(params.size()));
+    for (const nn::Parameter* p : params) {
+      put_u32(static_cast<std::uint32_t>(p->name.size()));
+      v1 += p->name;
+      put_u32(static_cast<std::uint32_t>(p->value.rank()));
+      for (const index_t d : p->value.shape()) {
+        const auto d64 = static_cast<std::int64_t>(d);
+        v1.append(reinterpret_cast<const char*>(&d64), 8);
+      }
+      v1.append(reinterpret_cast<const char*>(p->value.data()),
+                static_cast<std::size_t>(p->value.size()) * sizeof(float));
+    }
+    put_u32(0);  // empty metadata
+    write_file(ckpt, v1);
+    nn::load_parameters(ckpt, loaded.parameters());
+    bool v1_ok = true;
+    for (index_t i = 0; i < saved.weight().value.size(); ++i) {
+      v1_ok = v1_ok && loaded.weight().value[i] == saved.weight().value[i];
+    }
+    expect(v1_ok, "legacy TNN1 checkpoint still loads");
+  }
   std::remove(ckpt.c_str());
 
   // --- divergent rollout is detected and degrades to the PDE -------------

@@ -28,12 +28,18 @@
 #     concurrent sessions are bitwise identical to sequential rollouts at
 #     pool widths 1 and 4, the saturation exercise bumps
 #     serve/admission_rejects, and warm sessions keep
-#     infer/steady_state_allocs at 0.
+#     infer/steady_state_allocs at 0. The same run covers the compressed
+#     serving contract: the bf16 engine-pool rollouts must stay within the
+#     documented per-snapshot relative-L2 bound of the fp32 results
+#     (compressed_serving.within_bound) with steady-state allocations still
+#     zero after the bf16 legs, and per-ISA / per-precision variant rows
+#     must be present.
 #  6. A fault-injection smoke: examples/robust_smoke corrupts a checkpoint
-#     (loader must reject it and bump robust/corrupt_rejected) and forces a
-#     divergent hybrid rollout (guard must trip, trajectory must stay
-#     finite, PDE fallback windows must appear); the exported robust/*
-#     counters are asserted.
+#     (loader must reject it and bump robust/corrupt_rejected), checks the
+#     checkpoint format matrix (TNN3 bf16 round-trip quantized exactly,
+#     legacy TNN2/TNN1 still load), and forces a divergent hybrid rollout
+#     (guard must trip, trajectory must stay finite, PDE fallback windows
+#     must appear); the exported robust/* counters are asserted.
 #  7. Optionally (TURBFNO_TIER1_SANITIZE=1), an AddressSanitizer + UBSan
 #     build of the test suite in a sibling build dir, with ctest run once.
 #
@@ -196,7 +202,17 @@ for lvl in d["levels"]:
 assert d["counters"]["serve/admission_rejects"] >= 1, \
     "admission control never rejected"
 assert d["counters"]["infer/steady_state_allocs"] == 0, \
-    "serving allocated in engine steady state"
+    "serving allocated in engine steady state (incl. the bf16 legs)"
+cs = d["compressed_serving"]
+assert cs["precision"] == "bf16", "compressed serving leg missing"
+assert cs["within_bound"] is True, (
+    f"bf16 serving rel-L2 {cs['worst_snapshot_rel_l2_vs_fp32']} "
+    f"exceeded bound {cs['bound']}")
+assert 0.0 < cs["worst_snapshot_rel_l2_vs_fp32"] <= cs["bound"], \
+    "bf16 rel-L2 outside (0, bound]"
+variants = {(v["isa"], v["precision"]) for v in d["variants"]}
+assert ("scalar", "fp32") in variants, "per-ISA variant rows missing"
+assert any(p == "bf16" for _, p in variants), "bf16 variant row missing"
 EOF
 
 # Fault-injection smoke: corrupt checkpoints rejected, divergent rollouts

@@ -5,9 +5,10 @@
 namespace turb::core {
 
 FnoPropagator::FnoPropagator(fno::Fno& model, analysis::Normalizer normalizer,
-                             double dt_snap)
+                             double dt_snap,
+                             infer::EngineOptions engine_options)
     : model_(&model),
-      engine_(model),
+      engine_(model, engine_options),
       normalizer_(normalizer),
       dt_snap_(dt_snap) {
   TURB_CHECK(dt_snap_ > 0.0);

@@ -65,6 +65,7 @@ class HybridScheduler {
 /// which adds guard config, fallback degradation, and scheduling hints, and
 /// is what the serving layer (serve::RolloutServer) consumes. Results are
 /// bitwise identical for a default request.
+[[deprecated("use core::run_rollout(propagator, RolloutRequest{...})")]]
 RolloutResult run_single(Propagator& propagator, const History& seed,
                          index_t total_snapshots);
 

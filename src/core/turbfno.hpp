@@ -22,6 +22,7 @@
 #include "core/metrics.hpp"
 #include "core/pde_propagator.hpp"
 #include "core/propagator.hpp"
+#include "core/rollout_api.hpp"
 #include "core/rollout_guard.hpp"
 #include "data/dataset.hpp"
 #include "data/generator.hpp"

@@ -35,16 +35,21 @@ namespace turb::fno {
 ///                stacked), use one rollout per field-model pairing.
 /// @param steps   number of future snapshots to produce.
 /// @return (steps, H, W), chronologically ordered.
+[[deprecated("use core::run_rollout or InferenceEngine::rollout_channels_into")]]
 TensorF rollout_channels(Fno& model, const TensorF& history, index_t steps);
 
 /// Roll a rank-3 FNO forward: each call maps a (T, H, W) block to the next
 /// (T, H, W) block; the result is `blocks` consecutive predicted blocks
 /// concatenated along time: (blocks·T, H, W).
+[[deprecated("use core::run_rollout or InferenceEngine::rollout_3d_into")]]
 TensorF rollout_3d(Fno& model, const TensorF& seed_block, index_t blocks);
 
 /// Batched multi-trajectory rollout for serving throughput: histories
 /// (B, C_in, H, W) → (B, steps, H, W), every trajectory bitwise identical
 /// to its single-trajectory rollout.
+[[deprecated(
+    "use serve::RolloutServer or "
+    "InferenceEngine::rollout_channels_batched_into")]]
 TensorF rollout_channels_batched(infer::InferenceEngine& engine,
                                  const TensorF& histories, index_t steps);
 

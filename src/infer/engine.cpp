@@ -53,9 +53,10 @@ void copy_linear(nn::Linear& layer, std::vector<float>& w,
 
 }  // namespace
 
-InferenceEngine::InferenceEngine(fno::Fno& model)
+InferenceEngine::InferenceEngine(fno::Fno& model, EngineOptions options)
     : model_(&model),
       cfg_(model.config()),
+      precision_(options.precision),
       forward_calls_(obs::counter("infer/forward_calls")),
       replans_(obs::counter("infer/replans")),
       steady_allocs_(obs::counter("infer/steady_state_allocs")),
@@ -67,6 +68,34 @@ InferenceEngine::InferenceEngine(fno::Fno& model)
   wskip_.resize(static_cast<std::size_t>(cfg_.n_layers));
   bskip_.resize(static_cast<std::size_t>(cfg_.n_layers));
   pw_.resize(static_cast<std::size_t>(cfg_.n_layers));
+  pw16_.resize(static_cast<std::size_t>(cfg_.n_layers));
+  pf_.resize(static_cast<std::size_t>(cfg_.n_layers));
+  pf16_.resize(static_cast<std::size_t>(cfg_.n_layers));
+  if (cfg_.spectral_kind == nn::SpectralKind::kFactorized) {
+    // Per-axis kept extents and the flat kept index → per-axis index table
+    // (row-major over the kept extents — the layer's enumeration order).
+    const std::size_t r = cfg_.rank();
+    fdims_.resize(r);
+    index_t kept = 1;
+    for (std::size_t d = 0; d < r; ++d) {
+      fdims_[d] = d + 1 < r ? cfg_.n_modes[d] : cfg_.n_modes.back() / 2 + 1;
+      kept *= fdims_[d];
+    }
+    fidx_.assign(r, {});
+    for (std::size_t d = 0; d < r; ++d) {
+      fidx_[d].resize(static_cast<std::size_t>(kept));
+    }
+    std::vector<index_t> k(r, 0);
+    for (index_t flat = 0; flat < kept; ++flat) {
+      for (std::size_t d = 0; d < r; ++d) {
+        fidx_[d][static_cast<std::size_t>(flat)] = k[d];
+      }
+      for (std::size_t d = r; d-- > 0;) {
+        if (++k[d] < fdims_[d]) break;
+        k[d] = 0;
+      }
+    }
+  }
   refresh_weights();
 }
 
@@ -76,29 +105,98 @@ void InferenceEngine::refresh_weights() {
   copy_linear(model_->proj1(), wp1_, bp1_);
   copy_linear(model_->proj2(), wp2_, bp2_);
   const index_t w = cfg_.width;
+  const bool compressed = precision_ != util::Precision::kFp32;
+  if (compressed) {
+    // Linear weights stay fp32 storage (the GEMM kernels are untouched) but
+    // are round-tripped through the serving precision, so a compressed
+    // engine's outputs depend only on the compressed payload — exactly what
+    // a checkpoint-v3 load at this precision would serve.
+    for (std::vector<float>* v :
+         {&wl1_, &bl1_, &wl2_, &bl2_, &wp1_, &bp1_, &wp2_, &bp2_}) {
+      util::quantize_floats(v->data(), v->size(), precision_);
+    }
+  }
   for (index_t l = 0; l < cfg_.n_layers; ++l) {
     const auto ls = static_cast<std::size_t>(l);
     copy_linear(model_->skip(l), wskip_[ls], bskip_[ls]);
-    nn::SpectralConv& conv = model_->conv(l);
+    if (compressed) {
+      util::quantize_floats(wskip_[ls].data(), wskip_[ls].size(), precision_);
+      util::quantize_floats(bskip_[ls].data(), bskip_[ls].size(), precision_);
+    }
+    nn::SpectralLayer& conv = model_->conv(l);
     const index_t K = conv.kept_modes();
-    const float* src = conv.weight().value.data();
-    // Training layout W[i, o, k] strides by K per input channel; re-lay
-    // k-major so the contraction's ascending-i inner loop is contiguous.
-    // A pure gather: every value is copied verbatim, so the arithmetic
-    // downstream sees identical operands in identical order.
-    std::vector<float>& pw = pw_[ls];
-    pw.resize(static_cast<std::size_t>(K * w * w * 2));
-    for (index_t k = 0; k < K; ++k) {
-      for (index_t o = 0; o < w; ++o) {
-        float* dst = pw.data() + (k * w + o) * w * 2;
-        for (index_t i = 0; i < w; ++i) {
-          const float* wk = src + ((i * w + o) * K + k) * 2;
-          dst[2 * i] = wk[0];
-          dst[2 * i + 1] = wk[1];
+    if (conv.kind() == nn::SpectralKind::kDense) {
+      auto& dc = static_cast<nn::SpectralConv&>(conv);
+      const float* src = dc.weight().value.data();
+      // Training layout W[i, o, k] strides by K per input channel; re-lay
+      // k-major so the contraction's ascending-i inner loop is contiguous.
+      // A pure gather: every value is copied verbatim, so the arithmetic
+      // downstream sees identical operands in identical order.
+      std::vector<float>& pw = pw_[ls];
+      pw.resize(static_cast<std::size_t>(K * w * w * 2));
+      for (index_t k = 0; k < K; ++k) {
+        for (index_t o = 0; o < w; ++o) {
+          float* dst = pw.data() + (k * w + o) * w * 2;
+          for (index_t i = 0; i < w; ++i) {
+            const float* wk = src + ((i * w + o) * K + k) * 2;
+            dst[2 * i] = wk[0];
+            dst[2 * i + 1] = wk[1];
+          }
+        }
+      }
+      if (compressed) {
+        pw16_[ls].resize(pw.size());
+        util::compress_floats(pw.data(), pw16_[ls].data(), pw.size(),
+                              precision_);
+        pw.clear();
+        pw.shrink_to_fit();
+      }
+    } else {
+      // Factorized: one k_d-major block per axis, same (o, i) inner order
+      // as the dense pack. The contraction composes the per-mode weight in
+      // registers with the training path's left-to-right product order.
+      auto& fc = static_cast<nn::FactorizedSpectralConv&>(conv);
+      const std::size_t r = cfg_.rank();
+      pf_[ls].resize(r);
+      pf16_[ls].resize(r);
+      for (std::size_t d = 0; d < r; ++d) {
+        const float* src = fc.factor(d).value.data();  // (C_in, C_out, m_d, 2)
+        const index_t m = fdims_[d];
+        std::vector<float>& pf = pf_[ls][d];
+        pf.resize(static_cast<std::size_t>(m * w * w * 2));
+        for (index_t kd = 0; kd < m; ++kd) {
+          for (index_t o = 0; o < w; ++o) {
+            float* dst = pf.data() + (kd * w + o) * w * 2;
+            for (index_t i = 0; i < w; ++i) {
+              const float* fk = src + ((i * w + o) * m + kd) * 2;
+              dst[2 * i] = fk[0];
+              dst[2 * i + 1] = fk[1];
+            }
+          }
+        }
+        if (compressed) {
+          pf16_[ls][d].resize(pf.size());
+          util::compress_floats(pf.data(), pf16_[ls][d].data(), pf.size(),
+                                precision_);
+          pf.clear();
+          pf.shrink_to_fit();
         }
       }
     }
   }
+}
+
+std::size_t InferenceEngine::spectral_weight_bytes() const {
+  std::size_t bytes = 0;
+  for (const auto& v : pw_) bytes += v.size() * sizeof(float);
+  for (const auto& v : pw16_) bytes += v.size() * sizeof(std::uint16_t);
+  for (const auto& axes : pf_) {
+    for (const auto& v : axes) bytes += v.size() * sizeof(float);
+  }
+  for (const auto& axes : pf16_) {
+    for (const auto& v : axes) bytes += v.size() * sizeof(std::uint16_t);
+  }
+  return bytes;
 }
 
 void InferenceEngine::plan(std::initializer_list<index_t> dims) {
@@ -139,7 +237,7 @@ void InferenceEngine::plan(const Shape& in_shape) {
   // Kept-mode map: identical for every layer (same modes, same grid), so
   // take it from layer 0 and snapshot it — the conv may later rebuild its
   // map for a different training shape without invalidating this plan.
-  nn::SpectralConv& conv = model_->conv(0);
+  nn::SpectralLayer& conv = model_->conv(0);
   conv.ensure_mode_map(spatial_);
   kept_ = conv.kept_modes();
   spec_offsets_ = conv.spec_offsets();
@@ -395,35 +493,115 @@ void InferenceEngine::c2c_stage(const cpxf* src, cpxf* dst, const C2cStage& st,
 
 void InferenceEngine::contract(index_t l, const cpxf* xs, cpxf* ys) {
   const index_t w = cfg_.width, K = kept_, slab = slab_;
-  const float* pw = pw_[static_cast<std::size_t>(l)].data();
   const index_t* offs = spec_offsets_.data();
-  run_chunks(*pool_, batch_ * K, [&](index_t tb, index_t te) {
-    cpxf* xg = arena_.at<cpxf>(off_xg_[pool_->scratch_slot()]);
-    for (index_t t = tb; t < te; ++t) {
-      const index_t n = t / K;
-      const index_t k = t % K;
-      const index_t off = offs[k];
-      const cpxf* xn = xs + n * w * slab;
-      cpxf* yn = ys + n * w * slab;
-      // Gather the input channels of this mode once (a verbatim copy), then
-      // run the training contraction: for every output channel, accumulate
-      // over input channels in ascending order — the identical per-element
-      // expression and rounding sequence as SpectralConv::forward, just with
-      // contiguous (prepacked) weight reads.
-      for (index_t i = 0; i < w; ++i) xg[i] = xn[i * slab + off];
-      const float* pk = pw + k * w * w * 2;
-      for (index_t o = 0; o < w; ++o) {
-        const float* po = pk + o * w * 2;
-        float ar = 0.0f, ai = 0.0f;
-        for (index_t i = 0; i < w; ++i) {
-          const cpxf xv = xg[i];
-          ar += po[2 * i] * xv.real() - po[2 * i + 1] * xv.imag();
-          ai += po[2 * i] * xv.imag() + po[2 * i + 1] * xv.real();
+  const auto ls = static_cast<std::size_t>(l);
+  const bool factorized =
+      cfg_.spectral_kind == nn::SpectralKind::kFactorized;
+
+  if (!factorized) {
+    // Dense contraction over the k-major pack; `load` widens one stored
+    // weight component to fp32 (identity at fp32, bf16/fp16 widening on the
+    // compressed path — the only arithmetic difference between the tiers).
+    auto dense_contract = [&](const auto* pw, auto load) {
+      run_chunks(*pool_, batch_ * K, [&](index_t tb, index_t te) {
+        cpxf* xg = arena_.at<cpxf>(off_xg_[pool_->scratch_slot()]);
+        for (index_t t = tb; t < te; ++t) {
+          const index_t n = t / K;
+          const index_t k = t % K;
+          const index_t off = offs[k];
+          const cpxf* xn = xs + n * w * slab;
+          cpxf* yn = ys + n * w * slab;
+          // Gather the input channels of this mode once (a verbatim copy),
+          // then run the training contraction: for every output channel,
+          // accumulate over input channels in ascending order — the
+          // identical per-element expression and rounding sequence as the
+          // training forward, just with contiguous (prepacked) weight reads.
+          for (index_t i = 0; i < w; ++i) xg[i] = xn[i * slab + off];
+          const auto* pk = pw + k * w * w * 2;
+          for (index_t o = 0; o < w; ++o) {
+            const auto* po = pk + o * w * 2;
+            float ar = 0.0f, ai = 0.0f;
+            for (index_t i = 0; i < w; ++i) {
+              const cpxf xv = xg[i];
+              const float wr = load(po[2 * i]);
+              const float wi = load(po[2 * i + 1]);
+              ar += wr * xv.real() - wi * xv.imag();
+              ai += wr * xv.imag() + wi * xv.real();
+            }
+            yn[o * slab + off] = cpxf(ar, ai);
+          }
         }
-        yn[o * slab + off] = cpxf(ar, ai);
-      }
+      });
+    };
+    if (precision_ == util::Precision::kFp32) {
+      dense_contract(pw_[ls].data(), [](float v) { return v; });
+    } else if (precision_ == util::Precision::kBf16) {
+      dense_contract(pw16_[ls].data(),
+                     [](std::uint16_t v) { return util::bf16_to_float(v); });
+    } else {
+      dense_contract(pw16_[ls].data(),
+                     [](std::uint16_t v) { return util::fp16_to_float(v); });
     }
-  });
+    return;
+  }
+
+  // Factorized contraction: compose the per-mode weight from the per-axis
+  // k_d-major packs in registers while the gathered input streams through —
+  // the factors' small working set (Σ m_d instead of ∏ m_d rows) is the
+  // bandwidth win. The left-to-right complex product matches the training
+  // layer's materialisation order, but because that layer rounds the
+  // product through memory in a separate loop, -ffp-contract=fast may fuse
+  // the two contexts differently (DESIGN.md codegen caveat): the factorized
+  // fp32 tier promises bounded agreement with Fno::forward plus strict
+  // bitwise reproducibility across thread counts and repeats.
+  const std::size_t r = cfg_.rank();
+  auto fact_contract = [&](const auto& packs, auto load) {
+    const index_t* fx[3] = {nullptr, nullptr, nullptr};
+    for (std::size_t d = 0; d < r; ++d) fx[d] = fidx_[d].data();
+    run_chunks(*pool_, batch_ * K, [&](index_t tb, index_t te) {
+      cpxf* xg = arena_.at<cpxf>(off_xg_[pool_->scratch_slot()]);
+      for (index_t t = tb; t < te; ++t) {
+        const index_t n = t / K;
+        const index_t k = t % K;
+        const index_t off = offs[k];
+        const cpxf* xn = xs + n * w * slab;
+        cpxf* yn = ys + n * w * slab;
+        for (index_t i = 0; i < w; ++i) xg[i] = xn[i * slab + off];
+        for (index_t o = 0; o < w; ++o) {
+          decltype(packs[0].data()) row[3] = {nullptr, nullptr, nullptr};
+          for (std::size_t d = 0; d < r; ++d) {
+            row[d] = packs[d].data() + (fx[d][k] * w + o) * w * 2;
+          }
+          float ar = 0.0f, ai = 0.0f;
+          for (index_t i = 0; i < w; ++i) {
+            float wr = load(row[0][2 * i]);
+            float wi = load(row[0][2 * i + 1]);
+            for (std::size_t d = 1; d < r; ++d) {
+              const float fr = load(row[d][2 * i]);
+              const float fi = load(row[d][2 * i + 1]);
+              const float nr = wr * fr - wi * fi;
+              const float ni = wr * fi + wi * fr;
+              wr = nr;
+              wi = ni;
+            }
+            const cpxf xv = xg[i];
+            ar += wr * xv.real() - wi * xv.imag();
+            ai += wr * xv.imag() + wi * xv.real();
+          }
+          yn[o * slab + off] = cpxf(ar, ai);
+        }
+      }
+    });
+  };
+  if (precision_ == util::Precision::kFp32) {
+    fact_contract(pf_[ls], [](float v) { return v; });
+  } else if (precision_ == util::Precision::kBf16) {
+    fact_contract(pf16_[ls],
+                  [](std::uint16_t v) { return util::bf16_to_float(v); });
+  } else {
+    fact_contract(pf16_[ls],
+                  [](std::uint16_t v) { return util::fp16_to_float(v); });
+  }
 }
 
 void InferenceEngine::spectral_layer(index_t l, const float* h_in,

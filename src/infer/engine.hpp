@@ -13,17 +13,31 @@
 //     bias (+GELU) applied in the tile, second GEMM straight into the
 //     destination — so no (N, C_lift, S)-sized intermediate ever exists;
 //   * spectral weights are prepacked k-major at engine build so the kept-mode
-//     contraction reads contiguous memory;
+//     contraction reads contiguous memory — dense weights as one
+//     (K, C_out, C_in) complex block, factorized (F-FNO) weights as one
+//     k_d-major block per axis, composed into the per-mode weight in
+//     registers while the input streams through;
 //   * rollout drivers ping-pong between two arena prediction buffers and
 //     shift temporal channels in place.
 //
-// Bitwise equality with `Fno::forward` is a hard contract (tests enforce it
-// at pool widths 1/2/4): every floating-point value is produced by the same
+// Bitwise equality with `Fno::forward` is a hard contract at fp32 (tests
+// enforce it at pool widths 1/2/4, for both the dense and factorized
+// parameterisations): every floating-point value is produced by the same
 // per-element operation sequence as the training path — the same gemm_nn
 // instantiation on 8-aligned column blocks, the same rfft/irfft/PlanC2C
 // kernels, the same ascending-k contraction order, and the same
 // add-bias → add-skip → GELU rounding chain. See DESIGN.md "Inference
 // engine" for the argument.
+//
+// Reduced-precision serving (EngineOptions::precision = bf16 | fp16)
+// compresses the prepacked weights to 16-bit storage at refresh time and
+// widens them to fp32 inside the contraction inner loop; linear (MLP/skip)
+// weights are round-tripped through the same format but kept as fp32
+// storage for the GEMM kernels. The compressed engine keeps Tier A
+// determinism (bitwise within a fixed ISA and thread width) but its outputs
+// are only error-bounded against the fp32 engine — the per-snapshot
+// relative-L2 contract documented in DESIGN.md "Precision tiers" and
+// property-tested in tests/test_infer.cpp.
 #pragma once
 
 #include <complex>
@@ -35,16 +49,23 @@
 #include "obs/obs.hpp"
 #include "tensor/tensor.hpp"
 #include "util/isa.hpp"
+#include "util/precision.hpp"
 #include "util/thread_pool.hpp"
 
 namespace turb::infer {
 
+/// Build-time engine knobs (see file header for the precision contract).
+struct EngineOptions {
+  util::Precision precision = util::Precision::kFp32;
+};
+
 class InferenceEngine {
  public:
   /// @param model trained FNO (not owned; must outlive the engine). Weights
-  /// are snapshotted (prepacked) at construction — call refresh_weights()
-  /// after further training steps.
-  explicit InferenceEngine(fno::Fno& model);
+  /// are snapshotted (prepacked, and compressed when options.precision is
+  /// not fp32) at construction — call refresh_weights() after further
+  /// training steps.
+  explicit InferenceEngine(fno::Fno& model, EngineOptions options = {});
 
   InferenceEngine(const InferenceEngine&) = delete;
   InferenceEngine& operator=(const InferenceEngine&) = delete;
@@ -110,7 +131,13 @@ class InferenceEngine {
                     index_t frame) const;
 
   [[nodiscard]] const fno::FnoConfig& config() const { return cfg_; }
+  [[nodiscard]] util::Precision precision() const { return precision_; }
   [[nodiscard]] std::size_t arena_bytes() const { return arena_.bytes(); }
+
+  /// Bytes of prepacked spectral-weight storage (the serving working set
+  /// the compressed path halves; linear weights are excluded — they are
+  /// identical across precisions).
+  [[nodiscard]] std::size_t spectral_weight_bytes() const;
   [[nodiscard]] bool planned() const { return planned_; }
   [[nodiscard]] const Shape& planned_shape() const { return in_shape_; }
 
@@ -144,18 +171,28 @@ class InferenceEngine {
 
   fno::Fno* model_;
   fno::FnoConfig cfg_;
+  util::Precision precision_ = util::Precision::kFp32;
 
   // Prepacked weights (snapshotted at construction / refresh_weights()).
   // Linear weights keep their (C_out, C_in) row-major layout — exactly the
   // A-operand layout the gemm_nn panel kernel consumes — in engine-owned
-  // 64B-aligned storage; spectral weights are re-laid k-major,
+  // 64B-aligned storage; dense spectral weights are re-laid k-major,
   //   pw[(k·co + o)·ci·2 + 2i] = W[i, o, k]
   // so the ascending-i contraction reads contiguously (the training layout
-  // strides by K per i).
+  // strides by K per i). Factorized weights get one k_d-major block per
+  // axis with the same (o, i) inner order,
+  //   pf[d][(k_d·co + o)·ci·2 + 2i] = A_d[i, o, k_d].
+  // At bf16/fp16 the same layouts hold uint16 payloads (pw16_/pf16_) widened
+  // in the contraction inner loop.
   std::vector<float> wl1_, bl1_, wl2_, bl2_;
   std::vector<float> wp1_, bp1_, wp2_, bp2_;
   std::vector<std::vector<float>> wskip_, bskip_;
-  std::vector<std::vector<float>> pw_;  // per layer, k-major spectral weights
+  std::vector<std::vector<float>> pw_;  // per layer, k-major dense weights
+  std::vector<std::vector<std::uint16_t>> pw16_;  // compressed dense
+  std::vector<std::vector<std::vector<float>>> pf_;  // [layer][axis] factors
+  std::vector<std::vector<std::vector<std::uint16_t>>> pf16_;  // compressed
+  std::vector<std::vector<index_t>> fidx_;  // [axis][flat k] → axis index
+  std::vector<index_t> fdims_;              // per-axis kept extents
 
   // Plan state.
   bool planned_ = false;

@@ -28,6 +28,7 @@ ServeConfig ServeConfig::from_runtime() {
   cfg.max_sessions = opts.max_sessions;
   cfg.queue_capacity = opts.queue_capacity;
   cfg.batch_window = opts.batch_window;
+  cfg.precision = util::parse_precision(opts.precision);
   return cfg;
 }
 
@@ -36,7 +37,7 @@ RolloutServer::RolloutServer(core::FnoPropagator& primary,
     : primary_(&primary),
       fallback_(fallback),
       config_(config),
-      pool_(primary.model()) {
+      pool_(primary.model(), infer::EngineOptions{config.precision}) {
   TURB_CHECK(config_.max_sessions >= 1);
   TURB_CHECK(config_.queue_capacity >= 1);
   TURB_CHECK(config_.batch_window >= 1);

@@ -41,6 +41,7 @@
 #include "core/fno_propagator.hpp"
 #include "core/rollout_api.hpp"
 #include "serve/engine_pool.hpp"
+#include "util/precision.hpp"
 
 namespace turb::serve {
 
@@ -48,8 +49,12 @@ struct ServeConfig {
   index_t max_sessions = 256;     ///< sessions advanced concurrently
   index_t queue_capacity = 1024;  ///< admitted-but-not-active bound
   index_t batch_window = 16;      ///< max streams per micro-batched forward
+  /// Weight precision for every pooled engine (fp32 = bitwise-vs-training;
+  /// bf16/fp16 = error-bounded, see DESIGN.md "Precision tiers").
+  util::Precision precision = util::Precision::kFp32;
   /// Populated from the --serve-max-sessions / --serve-queue-cap /
-  /// --serve-batch-window runtime flags (util/cli.hpp).
+  /// --serve-batch-window / --serve-precision runtime flags (util/cli.hpp;
+  /// the precision spec string is parsed — and validated — here).
   static ServeConfig from_runtime();
 };
 

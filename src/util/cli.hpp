@@ -42,6 +42,11 @@ struct ServeRuntimeOptions {
   long max_sessions = 256;     ///< --serve-max-sessions
   long queue_capacity = 1024;  ///< --serve-queue-cap
   long batch_window = 16;      ///< --serve-batch-window
+  /// --serve-precision fp32|bf16|fp16 (TURBFNO_PRECISION env as fallback):
+  /// weight precision for every pooled serving engine. Stored as the spec
+  /// string so util/cli.hpp stays free of the precision header; ServeConfig
+  /// parses it.
+  std::string precision = "fp32";
 };
 
 /// Process-wide snapshot of the --serve-* flags (defaults until
@@ -58,6 +63,9 @@ struct ServeRuntimeOptions {
 ///   --serve-max-sessions N  serving: concurrently active session bound
 ///   --serve-queue-cap N     serving: pending-queue admission bound
 ///   --serve-batch-window N  serving: max streams per micro-batched forward
+///   --serve-precision P     serving: engine weight precision
+///                           (fp32 | bf16 | fp16; TURBFNO_PRECISION env is
+///                           the fallback when the flag is absent)
 void apply_runtime_flags(const CliArgs& args);
 
 }  // namespace turb

@@ -149,6 +149,30 @@ TEST(Fno, InstantiatedModelMatchesClosedForm) {
   EXPECT_EQ(model.parameter_count(), fno_parameter_count(cfg));
 }
 
+TEST(Fno, FactorizedModelMatchesClosedForm) {
+  Rng rng(12);
+  FnoConfig cfg = small2d();
+  cfg.spectral_kind = nn::SpectralKind::kFactorized;
+  Fno model(cfg, rng);
+  EXPECT_EQ(model.parameter_count(), fno_parameter_count(cfg));
+  // The factorized weight is strictly smaller than the dense one.
+  FnoConfig dense = small2d();
+  EXPECT_LT(fno_parameter_count(cfg), fno_parameter_count(dense));
+}
+
+TEST(Fno, SharedFactorizedModelMatchesClosedForm) {
+  Rng rng(12);
+  FnoConfig cfg = small2d();
+  cfg.spectral_kind = nn::SpectralKind::kFactorized;
+  cfg.share_spectral_factors = true;
+  Fno model(cfg, rng);
+  EXPECT_EQ(model.parameter_count(), fno_parameter_count(cfg));
+  // Sharing removes (n_layers - 1) copies of the factor set.
+  FnoConfig unshared = cfg;
+  unshared.share_spectral_factors = false;
+  EXPECT_LT(fno_parameter_count(cfg), fno_parameter_count(unshared));
+}
+
 TEST(Fno, InstantiatedPaperModelMatchesTableI) {
   // The width-8 2D model (288,562 parameters) is small enough to allocate.
   Rng rng(13);
@@ -211,6 +235,11 @@ TEST(Trainer, EvaluateMatchesManualError) {
 }
 
 // --- rollout -------------------------------------------------------------------
+
+// These tests deliberately pin the deprecated tensor-level rollout helpers
+// (the engine _into methods they wrap are covered by tests/test_infer.cpp).
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
 
 TEST(Rollout, ChannelsShapeAndWindowSlide) {
   Rng rng(17);
@@ -281,6 +310,8 @@ TEST(Rollout, DeterministicGivenSameSeed) {
   const TensorF b = rollout_channels(model, history, 4);
   for (index_t i = 0; i < a.size(); ++i) ASSERT_EQ(a[i], b[i]);
 }
+
+#pragma GCC diagnostic pop
 
 }  // namespace
 }  // namespace turb::fno

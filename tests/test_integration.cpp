@@ -186,8 +186,11 @@ TEST(Integration, HybridBoundsSurrogateErrorAccumulation) {
                                  dt_snap);
 
   const index_t horizon = 20;
-  const auto ref_run = core::run_single(reference, seed, horizon);
-  const auto sur_run = core::run_single(surrogate, seed, horizon);
+  core::RolloutRequest roll_req;
+  roll_req.seed = seed;
+  roll_req.steps = horizon;
+  const auto ref_run = core::run_rollout(reference, roll_req);
+  const auto sur_run = core::run_rollout(surrogate, roll_req);
   core::HybridConfig hcfg;
   hcfg.fno_snapshots = 2;
   hcfg.pde_snapshots = 2;

@@ -104,7 +104,9 @@ TEST_P(RolloutSweep, ProducesExactlyRequestedSteps) {
   fno::Fno model(cfg, rng);
   TensorF history({cin, 8, 8});
   history.fill_normal(rng, 0.0, 1.0);
-  const TensorF traj = fno::rollout_channels(model, history, steps);
+  infer::InferenceEngine engine(model);
+  TensorF traj;
+  engine.rollout_channels_into(history, steps, traj);
   EXPECT_EQ(traj.shape(), (Shape{steps, 8, 8}));
   EXPECT_TRUE(std::isfinite(static_cast<double>(traj.max_abs())));
 }

@@ -135,7 +135,11 @@ TEST(RolloutApi, RunRolloutMatchesLegacyWindowedLoop) {
   const core::RolloutResult unified = core::run_rollout(fno_prop, request);
   expect_bitwise_equal(legacy, unified);
 
+  // This test pins the deprecated shim's bytes until it is removed.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
   const core::RolloutResult shim = core::run_single(fno_prop, seed, steps);
+#pragma GCC diagnostic pop
   expect_bitwise_equal(legacy, shim);
 }
 
@@ -271,7 +275,7 @@ TEST_F(ServeFixture, ConcurrentSessionsBitwiseMatchSequential) {
     std::vector<core::RolloutResult> sequential;
     for (const std::uint64_t seed : seeds) {
       sequential.push_back(
-          core::run_single(fno_prop_, make_seed_history(4, seed), steps));
+          core::run_rollout(fno_prop_, request_for(seed, steps)));
     }
 
     serve::ServeConfig cfg;
@@ -301,7 +305,7 @@ TEST_F(ServeFixture, TrippedSoloSessionDegradesWithoutPerturbingBatchmates) {
   std::vector<core::RolloutResult> sequential;
   for (const std::uint64_t seed : seeds) {
     sequential.push_back(
-        core::run_single(fno_prop_, make_seed_history(4, seed), steps));
+        core::run_rollout(fno_prop_, request_for(seed, steps)));
   }
 
   serve::RolloutServer server(fno_prop_, &pde_prop_, serve::ServeConfig{});
@@ -420,6 +424,153 @@ TEST_F(ServeFixture, EnginePoolReusesBucketsAndStaysAllocationFree) {
   // The pooled engine never re-plans once its bucket is warm.
   EXPECT_EQ(obs::counter("infer/steady_state_allocs").value(), steady_before);
   EXPECT_GT(server.engine_pool().total_arena_bytes(), 0u);
+}
+
+// --- edge cases -----------------------------------------------------------
+
+TEST_F(ServeFixture, ZeroStepRequestRejectedWithoutConsumingQueueSlot) {
+  serve::ServeConfig cfg;
+  cfg.queue_capacity = 1;
+  serve::RolloutServer server(fno_prop_, &pde_prop_, cfg);
+
+  core::RolloutRequest zero = request_for(411, 4);
+  zero.steps = 0;
+  const serve::Admission a = server.submit(std::move(zero));
+  EXPECT_FALSE(a.admitted);
+  EXPECT_NE(a.reason.find("steps"), std::string::npos) << a.reason;
+  // The rejected request must not occupy the (capacity-1) queue.
+  ASSERT_TRUE(server.submit(request_for(413, 4)).admitted);
+  server.drain();
+}
+
+TEST_F(ServeFixture, SeedExactlyMinHistoryAdmittedOneBelowRejected) {
+  serve::RolloutServer server(fno_prop_, &pde_prop_, serve::ServeConfig{});
+  const index_t min_history = fno_prop_.min_history();
+
+  core::RolloutRequest exact = request_for(421, 6);
+  ASSERT_EQ(static_cast<index_t>(exact.seed.size()), min_history);
+  core::RolloutRequest below = request_for(421, 6);
+  below.seed.resize(static_cast<std::size_t>(min_history - 1));
+
+  EXPECT_FALSE(server.submit(std::move(below)).admitted);
+  const serve::Admission a = server.submit(request_for(421, 6));
+  ASSERT_TRUE(a.admitted) << a.reason;
+  server.drain();
+  // The boundary-length session must still match a sequential rollout.
+  expect_bitwise_equal(core::run_rollout(fno_prop_, request_for(421, 6)),
+                       server.take(a.id));
+}
+
+TEST_F(ServeFixture, EnginePoolAlternatingBucketsCountedOnce) {
+  // Two resolutions alternate: each bucket is planned exactly once (two
+  // misses total), every later wave hits its existing bucket.
+  serve::ServeConfig cfg;
+  cfg.batch_window = 4;
+  serve::RolloutServer server(fno_prop_, &pde_prop_, cfg);
+
+  const auto raw_history = [](index_t grid, std::uint64_t seed) {
+    core::History history;
+    for (index_t i = 0; i < 4; ++i) {
+      Rng rng(seed * 100 + static_cast<std::uint64_t>(i));
+      const auto field =
+          lbm::random_vortex_velocity(grid, grid, 4.0, 1.0, rng);
+      core::FieldSnapshot snap;
+      snap.t = kDtSnap * static_cast<double>(i);
+      snap.u1 = field.u1;
+      snap.u2 = field.u2;
+      history.push_back(std::move(snap));
+    }
+    return history;
+  };
+  const auto run_wave = [&](index_t grid, std::uint64_t base) {
+    std::vector<serve::SessionId> ids;
+    for (std::uint64_t s = 0; s < 4; ++s) {
+      core::RolloutRequest request;
+      request.seed = raw_history(grid, base + s);
+      request.steps = 6;
+      const serve::Admission admission = server.submit(std::move(request));
+      ASSERT_TRUE(admission.admitted) << admission.reason;
+      ids.push_back(admission.id);
+    }
+    server.drain();
+    for (const serve::SessionId id : ids) (void)server.take(id);
+  };
+
+  const std::int64_t misses_before =
+      obs::counter("serve/engine_pool_misses").value();
+  const std::int64_t hits_before =
+      obs::counter("serve/engine_pool_hits").value();
+  run_wave(32, 701);  // miss: grid-32 bucket planned
+  run_wave(16, 801);  // miss: grid-16 bucket planned
+  EXPECT_EQ(server.engine_pool().size(), 2u);
+  EXPECT_EQ(obs::counter("serve/engine_pool_misses").value(),
+            misses_before + 2);
+  run_wave(32, 901);  // hit
+  run_wave(16, 1001);  // hit
+  run_wave(32, 1101);  // hit
+  EXPECT_EQ(server.engine_pool().size(), 2u);
+  EXPECT_EQ(obs::counter("serve/engine_pool_misses").value(),
+            misses_before + 2);
+  EXPECT_GE(obs::counter("serve/engine_pool_hits").value() - hits_before, 3);
+}
+
+// --- reduced-precision serving --------------------------------------------
+
+TEST_F(ServeFixture, Bf16ServingWithinBoundAndDeterministic) {
+  const std::vector<std::uint64_t> seeds = {131, 137, 139};
+  const index_t steps = 12;
+
+  std::vector<core::RolloutResult> fp32;
+  for (const std::uint64_t seed : seeds) {
+    fp32.push_back(core::run_rollout(fno_prop_, request_for(seed, steps)));
+  }
+
+  const auto serve_bf16 = [&] {
+    serve::ServeConfig cfg;
+    cfg.precision = util::Precision::kBf16;
+    serve::RolloutServer server(fno_prop_, &pde_prop_, cfg);
+    std::vector<serve::SessionId> ids;
+    for (const std::uint64_t seed : seeds) {
+      const serve::Admission a = server.submit(request_for(seed, steps));
+      EXPECT_TRUE(a.admitted) << a.reason;
+      ids.push_back(a.id);
+    }
+    server.drain();
+    std::vector<core::RolloutResult> out;
+    for (const serve::SessionId id : ids) out.push_back(server.take(id));
+    return out;
+  };
+
+  const std::vector<core::RolloutResult> bf16 = serve_bf16();
+  for (std::size_t s = 0; s < seeds.size(); ++s) {
+    ASSERT_EQ(bf16[s].trajectory.size(), fp32[s].trajectory.size());
+    EXPECT_TRUE(all_finite(bf16[s]));
+    bool any_diff = false;
+    for (std::size_t k = 0; k < fp32[s].trajectory.size(); ++k) {
+      const auto& cb = bf16[s].trajectory[k];
+      const auto& cf = fp32[s].trajectory[k];
+      double num = 0.0, den = 0.0;
+      for (index_t i = 0; i < cf.u1.size(); ++i) {
+        const double d1 = cb.u1[i] - cf.u1[i];
+        const double d2 = cb.u2[i] - cf.u2[i];
+        num += d1 * d1 + d2 * d2;
+        den += cf.u1[i] * cf.u1[i] + cf.u2[i] * cf.u2[i];
+        any_diff = any_diff || d1 != 0.0 || d2 != 0.0;
+      }
+      const double rel = std::sqrt(num / std::max(den, 1e-300));
+      // The documented per-snapshot bound for compressed serving
+      // (DESIGN.md "Precision tiers").
+      EXPECT_LE(rel, 0.1) << "seed " << seeds[s] << " snapshot " << k;
+    }
+    EXPECT_TRUE(any_diff) << "bf16 output should differ from fp32";
+  }
+
+  // Error-bounded does not mean nondeterministic: a second bf16 serve of
+  // the same requests reproduces the same bytes (fixed ISA, same packs).
+  const std::vector<core::RolloutResult> again = serve_bf16();
+  for (std::size_t s = 0; s < seeds.size(); ++s) {
+    expect_bitwise_equal(bf16[s], again[s]);
+  }
 }
 
 }  // namespace
