@@ -12,10 +12,11 @@
 // cheaper than the PDE window it replaces.
 //
 // --json-out F writes the decomposition as JSON for trajectory tracking.
-#include <fstream>
 #include <iostream>
+#include <utility>
 
 #include "common.hpp"
+#include "json_out.hpp"
 #include "util/timer.hpp"
 
 int main(int argc, char** argv) {
@@ -91,23 +92,23 @@ int main(int argc, char** argv) {
                "pseudo-spectral reference)\n";
 
   if (!bench::json_out_path().empty()) {
-    std::ofstream js(bench::json_out_path());
-    if (!js.good()) {
-      std::cerr << "bench_inference_cost: cannot write "
-                << bench::json_out_path() << "\n";
+    bench::JsonObject doc;
+    doc.object("results_seconds",
+               bench::JsonObject{}
+                   .number("pde_window_5_snapshots", pde_s, "%.6g")
+                   .number("fno_window_total", fno_total_s, "%.6g")
+                   .number("fno_forward_only", fwd_s, "%.6g")
+                   .number("data_marshalling", marshal_s, "%.6g"))
+        .object("speedup", bench::JsonObject{}.number(
+                               "pde_over_fno", pde_s / fno_total_s, "%.6g"))
+        .object("gauges",
+                bench::JsonObject{}.number(
+                    "infer/arena_bytes",
+                    static_cast<double>(engine.arena_bytes()), "%.0f"));
+    if (!bench::write_bench_json(bench::json_out_path(),
+                                 "bench_inference_cost", std::move(doc))) {
       return 1;
     }
-    js << "{\n  \"version\": 1,\n  \"bench\": \"bench_inference_cost\",\n"
-       << "  \"results_seconds\": {\n"
-       << "    \"pde_window_5_snapshots\": " << pde_s << ",\n"
-       << "    \"fno_window_total\": " << fno_total_s << ",\n"
-       << "    \"fno_forward_only\": " << fwd_s << ",\n"
-       << "    \"data_marshalling\": " << marshal_s << "\n  },\n"
-       << "  \"speedup\": { \"pde_over_fno\": " << pde_s / fno_total_s
-       << " },\n"
-       << "  \"gauges\": { \"infer/arena_bytes\": "
-       << static_cast<double>(engine.arena_bytes()) << " }\n}\n";
-    std::cout << "wrote " << bench::json_out_path() << "\n";
   }
   return 0;
 }

@@ -29,6 +29,7 @@
 #include <utility>
 #include <vector>
 
+#include "fft/plan.hpp"
 #include "fno/fno.hpp"
 #include "infer/engine.hpp"
 #include "json_out.hpp"
@@ -205,6 +206,18 @@ int main(int argc, char** argv) {
                              util::isa_name(isa),
                          t});
       isa_ns[static_cast<int>(isa)] = t;
+      // Same engine with line batching forced off: the per-line FFT path
+      // the batched execution replaced, so the batching win is recorded
+      // per ISA in the trajectory.
+      fft::ScopedLineBatching perline(false);
+      const double tp = time_ns([&] { eng.forward_raw(x.data(), yy.data()); });
+      results.push_back({std::string("infer/engine_forward_n64_") +
+                             util::isa_name(isa) + "_perline",
+                         tp});
+      isa_speedups.emplace_back(
+          std::string("engine_forward_batched_vs_perline_") +
+              util::isa_name(isa),
+          tp / t);
     }
     if (isas.size() == 2) {
       isa_speedups.emplace_back("engine_forward_avx2_vs_scalar",
@@ -277,6 +290,21 @@ int main(int argc, char** argv) {
     run_variants(20);
   }
 
+  // Steady-state plan-cache discipline: with the engine re-planned for the
+  // forward shape (the rollout sections above left it planned for batch 4)
+  // and warm, repeated forwards must not fall through the per-thread plan
+  // memo — check_tier1.sh asserts this delta is zero.
+  engine.plan({1, cfg.in_channels, grid, grid});
+  engine.forward(x, y);  // warm: repopulate every worker's plan memo
+  const std::int64_t misses_before =
+      obs::counter("fft/plan_cache_misses").value();
+  for (int r = 0; r < 8; ++r) engine.forward_raw(x.data(), y.data());
+  const std::int64_t plan_miss_delta =
+      obs::counter("fft/plan_cache_misses").value() - misses_before;
+  const std::int64_t batched_lines = obs::counter("fft/batched_lines").value();
+  const std::int64_t batch_tails =
+      obs::counter("fft/batch_tail_lines").value();
+
   const std::int64_t steady_allocs =
       obs::counter("infer/steady_state_allocs").value();
   const std::int64_t replans = obs::counter("infer/replans").value();
@@ -336,6 +364,9 @@ int main(int argc, char** argv) {
   counters.integer("infer/steady_state_allocs", steady_allocs);
   counters.integer("infer/replans", replans);
   counters.integer("infer/forward_calls", forward_calls);
+  counters.integer("fft/batched_lines", batched_lines);
+  counters.integer("fft/batch_tail_lines", batch_tails);
+  counters.integer("fft/plan_cache_misses_steady_delta", plan_miss_delta);
   bench::JsonObject gauges;
   gauges.number("infer/arena_bytes", arena_bytes, "%.0f");
   bench::JsonObject doc;

@@ -257,9 +257,51 @@ int main(int argc, char** argv) {
     }
   }
 
+  // 6. Lane-per-line batching: the strided c2c stage of the paper-shaped
+  //    spectral conv (N=64, modes 12, rfft-axis spectrum width 33) timed
+  //    per ISA with line batching on vs off. This is the acceptance sweep
+  //    for the batched FFT execution path — the same grouping the engine
+  //    and rfftn/irfftn drivers use, measured in isolation.
+  {
+    Tensor<std::complex<float>> spec({8, 8, 64, 33});
+    {
+      Rng rng(46);
+      std::complex<float>* d = spec.data();
+      for (index_t i = 0; i < spec.size(); ++i) {
+        d[i] = {static_cast<float>(rng.normal()),
+                static_cast<float>(rng.normal())};
+      }
+    }
+    // modes=12 keep pattern on the 33-bin rfft axis: bins [0, 12).
+    std::vector<std::uint8_t> keep(33, 0);
+    for (std::size_t k = 0; k < 12; ++k) keep[k] = 1;
+    std::vector<util::Isa> isas = {util::Isa::kScalar};
+    if (util::cpu_supports_avx2()) isas.push_back(util::Isa::kAvx2);
+    for (const util::Isa isa : isas) {
+      util::ScopedIsa forced(isa);
+      const std::string s = util::isa_name(isa);
+      double ns[2] = {0.0, 0.0};
+      for (const bool batched : {false, true}) {
+        fft::ScopedLineBatching toggle(batched);
+        ns[batched ? 1 : 0] = time_ns([&] {
+          fft::c2c_axis(spec, 2, /*forward=*/true, &keep);
+          fft::c2c_axis(spec, 2, /*forward=*/false, &keep);
+        });
+        results.push_back({std::string("fft/c2c_strided_n64_m12_") +
+                               (batched ? "batched_" : "perline_") + s,
+                           ns[batched ? 1 : 0]});
+      }
+      speedups.emplace_back("fft_c2c_strided_batched_vs_perline_" + s,
+                            ns[0] / ns[1]);
+    }
+  }
+
   const std::int64_t skipped =
       obs::counter("fft/pruned_lines_skipped").value();
   const std::int64_t total = obs::counter("fft/lines_total").value();
+  const std::int64_t batched_lines = obs::counter("fft/batched_lines").value();
+  const std::int64_t batch_tails =
+      obs::counter("fft/batch_tail_lines").value();
 
   // Human-readable summary.
   std::cout << "# bench_perf_train (min-seconds " << g_min_seconds << ")\n";
@@ -286,6 +328,8 @@ int main(int argc, char** argv) {
   bench::JsonObject counters;
   counters.integer("fft/pruned_lines_skipped", skipped);
   counters.integer("fft/lines_total", total);
+  counters.integer("fft/batched_lines", batched_lines);
+  counters.integer("fft/batch_tail_lines", batch_tails);
   bench::JsonObject doc;
   doc.object("results_ns_per_op", std::move(res));
   doc.object("speedup", std::move(speed));

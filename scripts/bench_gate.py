@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Throughput regression gate for the perf benches.
+
+Usage: bench_gate.py BASELINE FRESH [TOL_PERCENT]
+
+BASELINE may be '-' to read the baseline JSON from stdin (scripts/bench_perf.sh
+pipes `git show HEAD:BENCH_*.json` in, so no temp file is needed). Every
+metric present in BOTH files is compared:
+
+  * results_ns_per_op.*                   lower is better
+  * throughput.*                          higher is better
+  * levels[].snapshots_per_s              higher is better (keyed by sessions)
+  * variants[].stats.snapshots_per_s      higher is better (keyed by isa/precision)
+
+A metric that moved more than TOL_PERCENT (default 10) in the slow direction
+is a regression: the script prints a delta table and exits 1. Metrics that
+exist on only one side (new rows, retired rows) are ignored — the gate
+compares the intersection, so adding a bench never trips it.
+"""
+
+import json
+import sys
+
+
+def collect(doc):
+    """Flatten a BENCH_*.json into {metric_name: (value, higher_is_better)}."""
+    metrics = {}
+    for name, v in doc.get("results_ns_per_op", {}).items():
+        if isinstance(v, (int, float)):
+            metrics[f"ns_per_op/{name}"] = (float(v), False)
+    for name, v in doc.get("throughput", {}).items():
+        if isinstance(v, (int, float)):
+            metrics[f"throughput/{name}"] = (float(v), True)
+    for lvl in doc.get("levels", []):
+        v = lvl.get("snapshots_per_s")
+        if isinstance(v, (int, float)):
+            metrics[f"serve/sessions={lvl.get('sessions')}"] = (float(v), True)
+    for var in doc.get("variants", []):
+        stats = var.get("stats")
+        if not isinstance(stats, dict):
+            continue
+        v = stats.get("snapshots_per_s")
+        if isinstance(v, (int, float)):
+            key = f"serve/isa={var.get('isa')}/precision={var.get('precision')}"
+            metrics[key] = (float(v), True)
+    return metrics
+
+
+def main(argv):
+    base_arg, fresh_path = argv[1], argv[2]
+    tol = float(argv[3]) / 100.0 if len(argv) > 3 else 0.10
+    base_doc = json.load(sys.stdin if base_arg == "-" else open(base_arg))
+    fresh_doc = json.load(open(fresh_path))
+
+    base = collect(base_doc)
+    fresh = collect(fresh_doc)
+    shared = sorted(set(base) & set(fresh))
+    if not shared:
+        print(f"bench_gate: {fresh_path}: no shared metrics with baseline; skipped")
+        return 0
+
+    rows = []
+    regressions = 0
+    for name in shared:
+        old, higher_better = base[name]
+        new, _ = fresh[name]
+        if old <= 0.0:
+            continue
+        # Normalize so delta > 0 always means "got slower".
+        delta = (old / new - 1.0) if higher_better else (new / old - 1.0)
+        bad = delta > tol
+        regressions += bad
+        rows.append((name, old, new, delta, bad))
+
+    if regressions:
+        print(f"bench_gate: {fresh_path}: {regressions} metric(s) regressed "
+              f"more than {tol * 100:.0f}% vs committed baseline")
+        width = max(len(r[0]) for r in rows)
+        print(f"  {'metric':<{width}}  {'baseline':>12}  {'fresh':>12}  {'slowdown':>9}")
+        for name, old, new, delta, bad in rows:
+            flag = "  <-- REGRESSION" if bad else ""
+            print(f"  {name:<{width}}  {old:>12.4g}  {new:>12.4g}  "
+                  f"{delta * 100:>+8.1f}%{flag}")
+        return 1
+
+    print(f"bench_gate: {fresh_path}: {len(rows)} metrics within "
+          f"{tol * 100:.0f}% of committed baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

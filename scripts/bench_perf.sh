@@ -28,11 +28,17 @@
 # queue rejects with serve/admission_rejects. Variant rows re-run a 64-session
 # level per forced ISA and per serving precision.
 #
+# After the runs, a regression gate (scripts/bench_gate.py) compares the
+# fresh numbers against the BENCH_*.json committed at HEAD and fails with a
+# delta table if any shared throughput metric regressed by more than 10%.
+#
 # Usage: scripts/bench_perf.sh [build-dir]   (default: build)
 #   BENCH_OUT=path           spectral output JSON (default: BENCH_spectral.json)
 #   BENCH_INFER_OUT=path     inference output JSON (default: BENCH_inference.json)
 #   BENCH_SERVE_OUT=path     serving output JSON (default: BENCH_serving.json)
 #   TURBFNO_BENCH_ARGS=...   extra flags for all benches
+#   BENCH_GATE=0             skip the regression gate (re-baselining)
+#   BENCH_GATE_TOL=pct      regression tolerance in percent (default 10)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -133,4 +139,32 @@ for v in d["variants"]:
           f"precision={v['precision']:<4} "
           f"{s['snapshots_per_s']:.0f} snapshots/s at {s['sessions']} sessions")
 EOF
+# --- regression gate ---------------------------------------------------------
+# Compare the fresh numbers against the baselines committed at HEAD: a >10%
+# throughput regression (slower ns/op, fewer snapshots/s) on any metric
+# present in both prints a delta table and fails the run. Metrics only on one
+# side are ignored, so adding a bench never trips the gate. Disable with
+# BENCH_GATE=0 (e.g. when re-baselining on different hardware); tolerance in
+# percent via BENCH_GATE_TOL.
+if [[ "${BENCH_GATE:-1}" == "1" ]]; then
+  gate_fail=0
+  for pair in "BENCH_spectral.json:$OUT" "BENCH_inference.json:$INFER_OUT" \
+              "BENCH_serving.json:$SERVE_OUT"; do
+    committed="${pair%%:*}"
+    fresh="${pair#*:}"
+    if baseline=$(git show "HEAD:$committed" 2> /dev/null); then
+      printf '%s' "$baseline" \
+        | python3 scripts/bench_gate.py - "$fresh" "${BENCH_GATE_TOL:-10}" \
+        || gate_fail=1
+    else
+      echo "bench_perf: no committed baseline for $committed; gate skipped"
+    fi
+  done
+  if [[ "$gate_fail" != "0" ]]; then
+    echo "bench_perf: FAIL (throughput regression vs HEAD baselines;" \
+         "BENCH_GATE=0 to re-baseline)"
+    exit 1
+  fi
+fi
+
 echo "bench_perf: OK ($OUT, $INFER_OUT, $SERVE_OUT)"

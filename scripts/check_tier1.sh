@@ -18,12 +18,15 @@
 #     fft/*, nn/*, and train/* spans plus the mode-pruning coverage counters.
 #  3. A perf-harness smoke: bench_perf_train at a tiny measurement budget,
 #     asserting it produces a well-formed BENCH_spectral.json (the recorded
-#     numbers are non-gating; only the schema is checked here).
+#     numbers are non-gating; only the schema is checked here) and that the
+#     batched line-FFT path engaged (fft/batched_lines > 0).
 #  4. An inference-engine smoke: bench_perf_infer at a tiny budget with
 #     --metrics-out, asserting the nn/infer_* spans are exported, the
 #     zero-steady-state-allocation contract holds
-#     (infer/steady_state_allocs == 0), and the BENCH_inference.json schema
-#     is well formed.
+#     (infer/steady_state_allocs == 0), the engine drove the batched FFT
+#     path (fft/batched_lines > 0), the plan-cache memo stayed hit-only
+#     across a steady-state repeat (fft/plan_cache_misses_steady_delta == 0),
+#     and the BENCH_inference.json schema is well formed.
 #  5. A serving smoke: bench_perf_serve at a tiny grid/horizon, asserting
 #     concurrent sessions are bitwise identical to sequential rollouts at
 #     pool widths 1 and 4, the saturation exercise bumps
@@ -141,6 +144,9 @@ assert "spectral/fwdbwd_pruned" in d["results_ns_per_op"], \
 assert "spectral_fwdbwd_pruned_vs_full" in d["speedup"], "speedup missing"
 assert "fft/pruned_lines_skipped" in d["counters"], "pruning counter missing"
 assert "fft/lines_total" in d["counters"], "lines_total counter missing"
+assert d["counters"]["fft/batched_lines"] > 0, \
+    "batched line-FFT path never engaged"
+assert "fft/batch_tail_lines" in d["counters"], "batch tail counter missing"
 EOF
 
 # Inference-engine smoke: spans present, zero steady-state allocations,
@@ -168,6 +174,10 @@ assert "engine_forward_vs_train" in d["speedup"], "speedup missing"
 assert d["counters"]["infer/steady_state_allocs"] == 0, \
     "inference engine allocated in steady state"
 assert d["gauges"]["infer/arena_bytes"] > 0, "arena gauge missing"
+assert d["counters"]["fft/batched_lines"] > 0, \
+    "batched line-FFT path never engaged in the engine"
+assert d["counters"]["fft/plan_cache_misses_steady_delta"] == 0, \
+    "plan cache missed during the steady-state repeat (memo thrashing)"
 EOF
 
 # Serving smoke: a small bench_perf_serve run must report concurrent ==

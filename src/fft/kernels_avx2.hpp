@@ -25,11 +25,20 @@
 //     identical on the kept bins, the same load-bearing property the scalar
 //     path has.
 //   * Stages/bins too narrow for a full vector (half < 4 floats, edge bins
-//     0 and h, tail bins near h) run an in-function scalar loop with the
-//     reference formulas; they are part of the avx2 kernel's fixed
-//     operation order, not a dispatch decision.
+//     0 and h, tail bins near h) run an in-function scalar loop; they are
+//     part of the avx2 kernel's fixed operation order, not a dispatch
+//     decision.
+//   * Canonical fused arithmetic: every complex product on the avx2 tier —
+//     vector bodies and in-kernel scalar edges alike — rounds as
+//     re = fl(a·c − fl(b·d)), im = fl(a·d + fl(b·c)) (fmaddsub in vector
+//     code, cmul_fused below in scalar code). This makes a value's bits
+//     independent of which code shape computed it, which is what lets the
+//     lane-batched kernels (element j of lane l at x[j*nlanes + l], same
+//     broadcast twiddle for every lane) reproduce the within-line kernels
+//     bit-for-bit on full batches, ragged lane tails, and single lines.
 #pragma once
 
+#include <bit>
 #include <complex>
 #include <cstdint>
 
@@ -41,6 +50,21 @@
 #include <immintrin.h>
 
 namespace turb::fft::avx2 {
+
+// Scalar complex product with the exact rounding of the vector
+// _mm256_fmaddsub bodies; `a` is the operand the vector code splits into
+// broadcast re/im halves (the twiddle in butterflies/unpack, d in pack).
+[[gnu::target("avx2,fma")]] inline std::complex<float> cmul_fused(
+    std::complex<float> a, std::complex<float> b) {
+  return {std::fma(a.real(), b.real(), -(a.imag() * b.imag())),
+          std::fma(a.real(), b.imag(), a.imag() * b.real())};
+}
+
+[[gnu::target("avx2,fma")]] inline std::complex<double> cmul_fused(
+    std::complex<double> a, std::complex<double> b) {
+  return {std::fma(a.real(), b.real(), -(a.imag() * b.imag())),
+          std::fma(a.real(), b.imag(), a.imag() * b.real())};
+}
 
 // ---- Radix-2 butterfly stage ----------------------------------------------
 //
@@ -58,7 +82,7 @@ namespace turb::fft::avx2 {
         std::complex<float> w = tw[j];
         if (inverse) w = std::conj(w);
         const std::complex<float> u = x[base + j];
-        const std::complex<float> v = x[base + j + half] * w;
+        const std::complex<float> v = cmul_fused(w, x[base + j + half]);
         x[base + j] = u + v;
         x[base + j + half] = u - v;
       }
@@ -94,11 +118,12 @@ namespace turb::fft::avx2 {
   const index_t half = len / 2;
   if (half < 2) {
     for (index_t base = 0; base < n; base += len) {
-      // half == 1: w = tw[0] = 1 (conj-invariant), plain add/sub butterfly.
+      // half == 1: w = tw[0] = (1, ∓0), every product is exact so fused and
+      // plain rounding coincide; cmul_fused keeps the tier uniform.
       const std::complex<double> u = x[base];
       std::complex<double> w = tw[0];
       if (inverse) w = std::conj(w);
-      const std::complex<double> v = x[base + 1] * w;
+      const std::complex<double> v = cmul_fused(w, x[base + 1]);
       x[base] = u + v;
       x[base + 1] = u - v;
     }
@@ -144,7 +169,7 @@ namespace turb::fft::avx2 {
     const cpx e = (zk + zc) * 0.5f;
     const cpx d = zk - zc;
     const cpx o(0.5f * d.imag(), -0.5f * d.real());
-    out[k] = e + tw[k] * o;
+    out[k] = e + cmul_fused(tw[k], o);
   };
   scalar_bin(0);
   const __m256 conj_mask = _mm256_castsi256_ps(_mm256_setr_epi32(
@@ -198,7 +223,7 @@ namespace turb::fft::avx2 {
     const cpx e = (zk + zc) * 0.5;
     const cpx d = zk - zc;
     const cpx o(0.5 * d.imag(), -0.5 * d.real());
-    out[k] = e + tw[k] * o;
+    out[k] = e + cmul_fused(tw[k], o);
   };
   scalar_bin(0);
   const __m256d conj_mask = _mm256_castsi256_pd(
@@ -250,7 +275,7 @@ namespace turb::fft::avx2 {
     const cpx xc(in[h].real(), 0.0f);
     const cpx e = (xk + xc) * 0.5f;
     const cpx d = (xk - xc) * 0.5f;
-    const cpx o = d * tw[0];
+    const cpx o = cmul_fused(d, tw[0]);
     z[0] = cpx(e.real() - o.imag(), e.imag() + o.real());
   }
   const __m256 conj_mask = _mm256_castsi256_ps(_mm256_setr_epi32(
@@ -283,7 +308,7 @@ namespace turb::fft::avx2 {
     const cpx xc = std::conj(in[h - k]);
     const cpx e = (xk + xc) * 0.5f;
     const cpx d = (xk - xc) * 0.5f;
-    const cpx o = d * tw[k];
+    const cpx o = cmul_fused(d, tw[k]);
     z[k] = cpx(e.real() - o.imag(), e.imag() + o.real());
   }
 }
@@ -297,7 +322,7 @@ namespace turb::fft::avx2 {
     const cpx xc(in[h].real(), 0.0);
     const cpx e = (xk + xc) * 0.5;
     const cpx d = (xk - xc) * 0.5;
-    const cpx o = d * tw[0];
+    const cpx o = cmul_fused(d, tw[0]);
     z[0] = cpx(e.real() - o.imag(), e.imag() + o.real());
   }
   const __m256d conj_mask = _mm256_castsi256_pd(
@@ -327,8 +352,269 @@ namespace turb::fft::avx2 {
     const cpx xc = std::conj(in[h - k]);
     const cpx e = (xk + xc) * 0.5;
     const cpx d = (xk - xc) * 0.5;
-    const cpx o = d * tw[k];
+    const cpx o = cmul_fused(d, tw[k]);
     z[k] = cpx(e.real() - o.imag(), e.imag() + o.real());
+  }
+}
+
+// ---- Lane-batched kernels -------------------------------------------------
+//
+// Batched variants over `nl` independent lines held lane-interleaved
+// (element j of lane l at x[j*nl + l]). Each bin/butterfly broadcasts its
+// twiddle across lanes and evaluates the same fused expressions as the
+// within-line kernels above, vectorizing over lanes (4 f32 / 2 f64 complex
+// per register) with a cmul_fused scalar loop for ragged lane tails — so a
+// lane's bits are independent of batch occupancy and identical to the
+// single-line avx2 result.
+
+[[gnu::target("avx2,fma")]] inline void radix2_stage_lanes(
+    std::complex<float>* x, index_t n, index_t len,
+    const std::complex<float>* tw, index_t nl, bool inverse) {
+  const index_t half = len / 2;
+  float* xf = reinterpret_cast<float*>(x);
+  for (index_t base = 0; base < n; base += len) {
+    for (index_t j = 0; j < half; ++j) {
+      std::complex<float> w = tw[j];
+      if (inverse) w = std::conj(w);
+      const __m256 wr = _mm256_set1_ps(w.real());
+      const __m256 wi = _mm256_set1_ps(w.imag());
+      float* top = xf + 2 * (base + j) * nl;
+      float* bot = xf + 2 * (base + j + half) * nl;
+      index_t l = 0;
+      for (; l + 4 <= nl; l += 4) {
+        const __m256 u = _mm256_loadu_ps(top + 2 * l);
+        const __m256 vin = _mm256_loadu_ps(bot + 2 * l);
+        const __m256 vs = _mm256_permute_ps(vin, 0xB1);
+        const __m256 v = _mm256_fmaddsub_ps(wr, vin, _mm256_mul_ps(wi, vs));
+        _mm256_storeu_ps(top + 2 * l, _mm256_add_ps(u, v));
+        _mm256_storeu_ps(bot + 2 * l, _mm256_sub_ps(u, v));
+      }
+      std::complex<float>* topc = x + (base + j) * nl;
+      std::complex<float>* botc = x + (base + j + half) * nl;
+      for (; l < nl; ++l) {
+        const std::complex<float> u = topc[l];
+        const std::complex<float> v = cmul_fused(w, botc[l]);
+        topc[l] = u + v;
+        botc[l] = u - v;
+      }
+    }
+  }
+}
+
+[[gnu::target("avx2,fma")]] inline void radix2_stage_lanes(
+    std::complex<double>* x, index_t n, index_t len,
+    const std::complex<double>* tw, index_t nl, bool inverse) {
+  const index_t half = len / 2;
+  double* xd = reinterpret_cast<double*>(x);
+  for (index_t base = 0; base < n; base += len) {
+    for (index_t j = 0; j < half; ++j) {
+      std::complex<double> w = tw[j];
+      if (inverse) w = std::conj(w);
+      const __m256d wr = _mm256_set1_pd(w.real());
+      const __m256d wi = _mm256_set1_pd(w.imag());
+      double* top = xd + 2 * (base + j) * nl;
+      double* bot = xd + 2 * (base + j + half) * nl;
+      index_t l = 0;
+      for (; l + 2 <= nl; l += 2) {
+        const __m256d u = _mm256_loadu_pd(top + 2 * l);
+        const __m256d vin = _mm256_loadu_pd(bot + 2 * l);
+        const __m256d vs = _mm256_permute_pd(vin, 0x5);
+        const __m256d v = _mm256_fmaddsub_pd(wr, vin, _mm256_mul_pd(wi, vs));
+        _mm256_storeu_pd(top + 2 * l, _mm256_add_pd(u, v));
+        _mm256_storeu_pd(bot + 2 * l, _mm256_sub_pd(u, v));
+      }
+      std::complex<double>* topc = x + (base + j) * nl;
+      std::complex<double>* botc = x + (base + j + half) * nl;
+      for (; l < nl; ++l) {
+        const std::complex<double> u = topc[l];
+        const std::complex<double> v = cmul_fused(w, botc[l]);
+        topc[l] = u + v;
+        botc[l] = u - v;
+      }
+    }
+  }
+}
+
+// Batched rfft unpack: z and out are lane-interleaved (h resp. h+1 rows of
+// nl lanes); bins masked out by keep are skipped outright (their out rows
+// are left untouched). Unlike the within-line kernel there are no edge-bin
+// special cases — the wrap indices (k % h) handle bins 0 and h with the
+// same fused formulas, vectorized across lanes.
+
+[[gnu::target("avx2,fma")]] inline void rfft_unpack_lanes(
+    const std::complex<float>* z, std::complex<float>* out, index_t h,
+    const std::uint8_t* keep, const std::complex<float>* tw, index_t nl) {
+  using cpx = std::complex<float>;
+  const __m256 conj_mask = _mm256_castsi256_ps(_mm256_setr_epi32(
+      0, INT32_MIN, 0, INT32_MIN, 0, INT32_MIN, 0, INT32_MIN));
+  const __m256 half_ps = _mm256_set1_ps(0.5f);
+  const __m256 half_alt =
+      _mm256_setr_ps(0.5f, -0.5f, 0.5f, -0.5f, 0.5f, -0.5f, 0.5f, -0.5f);
+  const float* zf = reinterpret_cast<const float*>(z);
+  float* outf = reinterpret_cast<float*>(out);
+  for (index_t k = 0; k <= h; ++k) {
+    if (keep != nullptr && keep[k] == 0) continue;
+    const index_t ki = (k % h) * nl;
+    const index_t ci = ((h - k) % h) * nl;
+    const cpx w = tw[k];
+    const __m256 wr = _mm256_set1_ps(w.real());
+    const __m256 wi = _mm256_set1_ps(w.imag());
+    index_t l = 0;
+    for (; l + 4 <= nl; l += 4) {
+      const __m256 zk = _mm256_loadu_ps(zf + 2 * (ki + l));
+      __m256 zc = _mm256_loadu_ps(zf + 2 * (ci + l));
+      zc = _mm256_xor_ps(zc, conj_mask);
+      const __m256 e = _mm256_mul_ps(_mm256_add_ps(zk, zc), half_ps);
+      const __m256 d = _mm256_sub_ps(zk, zc);
+      const __m256 o = _mm256_mul_ps(_mm256_permute_ps(d, 0xB1), half_alt);
+      const __m256 os = _mm256_permute_ps(o, 0xB1);
+      const __m256 wo = _mm256_fmaddsub_ps(wr, o, _mm256_mul_ps(wi, os));
+      _mm256_storeu_ps(outf + 2 * (k * nl + l), _mm256_add_ps(e, wo));
+    }
+    for (; l < nl; ++l) {
+      const cpx zk = z[ki + l];
+      const cpx zc = std::conj(z[ci + l]);
+      const cpx e = (zk + zc) * 0.5f;
+      const cpx d = zk - zc;
+      const cpx o(0.5f * d.imag(), -0.5f * d.real());
+      out[k * nl + l] = e + cmul_fused(w, o);
+    }
+  }
+}
+
+[[gnu::target("avx2,fma")]] inline void rfft_unpack_lanes(
+    const std::complex<double>* z, std::complex<double>* out, index_t h,
+    const std::uint8_t* keep, const std::complex<double>* tw, index_t nl) {
+  using cpx = std::complex<double>;
+  const __m256d conj_mask = _mm256_castsi256_pd(
+      _mm256_setr_epi64x(0, INT64_MIN, 0, INT64_MIN));
+  const __m256d half_pd = _mm256_set1_pd(0.5);
+  const __m256d half_alt = _mm256_setr_pd(0.5, -0.5, 0.5, -0.5);
+  const double* zd = reinterpret_cast<const double*>(z);
+  double* outd = reinterpret_cast<double*>(out);
+  for (index_t k = 0; k <= h; ++k) {
+    if (keep != nullptr && keep[k] == 0) continue;
+    const index_t ki = (k % h) * nl;
+    const index_t ci = ((h - k) % h) * nl;
+    const cpx w = tw[k];
+    const __m256d wr = _mm256_set1_pd(w.real());
+    const __m256d wi = _mm256_set1_pd(w.imag());
+    index_t l = 0;
+    for (; l + 2 <= nl; l += 2) {
+      const __m256d zk = _mm256_loadu_pd(zd + 2 * (ki + l));
+      __m256d zc = _mm256_loadu_pd(zd + 2 * (ci + l));
+      zc = _mm256_xor_pd(zc, conj_mask);
+      const __m256d e = _mm256_mul_pd(_mm256_add_pd(zk, zc), half_pd);
+      const __m256d d = _mm256_sub_pd(zk, zc);
+      const __m256d o = _mm256_mul_pd(_mm256_permute_pd(d, 0x5), half_alt);
+      const __m256d os = _mm256_permute_pd(o, 0x5);
+      const __m256d wo = _mm256_fmaddsub_pd(wr, o, _mm256_mul_pd(wi, os));
+      _mm256_storeu_pd(outd + 2 * (k * nl + l), _mm256_add_pd(e, wo));
+    }
+    for (; l < nl; ++l) {
+      const cpx zk = z[ki + l];
+      const cpx zc = std::conj(z[ci + l]);
+      const cpx e = (zk + zc) * 0.5;
+      const cpx d = zk - zc;
+      const cpx o(0.5 * d.imag(), -0.5 * d.real());
+      out[k * nl + l] = e + cmul_fused(w, o);
+    }
+  }
+}
+
+// Batched irfft pack: in (h+1 lane-interleaved rows) → z (h rows). Bin 0
+// zeroes the DC/Nyquist imaginary parts across lanes (real_mask) instead of
+// conjugating, matching the C2R convention of the scalar path.
+
+[[gnu::target("avx2,fma")]] inline void irfft_pack_lanes(
+    const std::complex<float>* in, std::complex<float>* z, index_t h,
+    const std::complex<float>* tw, index_t nl) {
+  using cpx = std::complex<float>;
+  const __m256 conj_mask = _mm256_castsi256_ps(_mm256_setr_epi32(
+      0, INT32_MIN, 0, INT32_MIN, 0, INT32_MIN, 0, INT32_MIN));
+  const __m256 real_mask = _mm256_castsi256_ps(
+      _mm256_setr_epi32(-1, 0, -1, 0, -1, 0, -1, 0));
+  const __m256 half_ps = _mm256_set1_ps(0.5f);
+  const float* inf = reinterpret_cast<const float*>(in);
+  float* zf = reinterpret_cast<float*>(z);
+  for (index_t k = 0; k < h; ++k) {
+    const cpx w = tw[k];
+    const __m256 wv =
+        _mm256_castpd_ps(_mm256_set1_pd(std::bit_cast<double>(w)));
+    const __m256 ws = _mm256_permute_ps(wv, 0xB1);
+    index_t l = 0;
+    for (; l + 4 <= nl; l += 4) {
+      __m256 xk = _mm256_loadu_ps(inf + 2 * (k * nl + l));
+      __m256 xc = _mm256_loadu_ps(inf + 2 * ((h - k) * nl + l));
+      if (k == 0) {
+        xk = _mm256_and_ps(xk, real_mask);
+        xc = _mm256_and_ps(xc, real_mask);
+      } else {
+        xc = _mm256_xor_ps(xc, conj_mask);
+      }
+      const __m256 e = _mm256_mul_ps(_mm256_add_ps(xk, xc), half_ps);
+      const __m256 d = _mm256_mul_ps(_mm256_sub_ps(xk, xc), half_ps);
+      const __m256 dr = _mm256_moveldup_ps(d);
+      const __m256 di = _mm256_movehdup_ps(d);
+      const __m256 o = _mm256_fmaddsub_ps(dr, wv, _mm256_mul_ps(di, ws));
+      const __m256 res = _mm256_addsub_ps(e, _mm256_permute_ps(o, 0xB1));
+      _mm256_storeu_ps(zf + 2 * (k * nl + l), res);
+    }
+    for (; l < nl; ++l) {
+      const cpx xk = (k == 0) ? cpx(in[l].real(), 0.0f) : in[k * nl + l];
+      const cpx xc = (k == 0) ? cpx(in[h * nl + l].real(), 0.0f)
+                              : std::conj(in[(h - k) * nl + l]);
+      const cpx e = (xk + xc) * 0.5f;
+      const cpx d = (xk - xc) * 0.5f;
+      const cpx o = cmul_fused(d, w);
+      z[k * nl + l] = cpx(e.real() - o.imag(), e.imag() + o.real());
+    }
+  }
+}
+
+[[gnu::target("avx2,fma")]] inline void irfft_pack_lanes(
+    const std::complex<double>* in, std::complex<double>* z, index_t h,
+    const std::complex<double>* tw, index_t nl) {
+  using cpx = std::complex<double>;
+  const __m256d conj_mask = _mm256_castsi256_pd(
+      _mm256_setr_epi64x(0, INT64_MIN, 0, INT64_MIN));
+  const __m256d real_mask = _mm256_castsi256_pd(
+      _mm256_setr_epi64x(-1, 0, -1, 0));
+  const __m256d half_pd = _mm256_set1_pd(0.5);
+  const double* ind = reinterpret_cast<const double*>(in);
+  double* zd = reinterpret_cast<double*>(z);
+  for (index_t k = 0; k < h; ++k) {
+    const cpx w = tw[k];
+    const __m256d wv =
+        _mm256_broadcast_pd(reinterpret_cast<const __m128d*>(&w));
+    const __m256d ws = _mm256_permute_pd(wv, 0x5);
+    index_t l = 0;
+    for (; l + 2 <= nl; l += 2) {
+      __m256d xk = _mm256_loadu_pd(ind + 2 * (k * nl + l));
+      __m256d xc = _mm256_loadu_pd(ind + 2 * ((h - k) * nl + l));
+      if (k == 0) {
+        xk = _mm256_and_pd(xk, real_mask);
+        xc = _mm256_and_pd(xc, real_mask);
+      } else {
+        xc = _mm256_xor_pd(xc, conj_mask);
+      }
+      const __m256d e = _mm256_mul_pd(_mm256_add_pd(xk, xc), half_pd);
+      const __m256d d = _mm256_mul_pd(_mm256_sub_pd(xk, xc), half_pd);
+      const __m256d dr = _mm256_movedup_pd(d);
+      const __m256d di = _mm256_permute_pd(d, 0xF);
+      const __m256d o = _mm256_fmaddsub_pd(dr, wv, _mm256_mul_pd(di, ws));
+      const __m256d res = _mm256_addsub_pd(e, _mm256_permute_pd(o, 0x5));
+      _mm256_storeu_pd(zd + 2 * (k * nl + l), res);
+    }
+    for (; l < nl; ++l) {
+      const cpx xk = (k == 0) ? cpx(in[l].real(), 0.0) : in[k * nl + l];
+      const cpx xc = (k == 0) ? cpx(in[h * nl + l].real(), 0.0)
+                              : std::conj(in[(h - k) * nl + l]);
+      const cpx e = (xk + xc) * 0.5;
+      const cpx d = (xk - xc) * 0.5;
+      const cpx o = cmul_fused(d, w);
+      z[k * nl + l] = cpx(e.real() - o.imag(), e.imag() + o.real());
+    }
   }
 }
 

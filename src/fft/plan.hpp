@@ -16,8 +16,10 @@
 // Bluestein lengths reach the dispatch through their power-of-two sub-plan.
 #pragma once
 
+#include <atomic>
 #include <cmath>
 #include <complex>
+#include <cstdlib>
 #include <memory>
 #include <numbers>
 #include <type_traits>
@@ -36,6 +38,75 @@ inline index_t next_pow2(index_t n) {
   while (p < n) p <<= 1;
   return p;
 }
+
+// ---- Lane-per-line batching ------------------------------------------------
+//
+// The batched execution path transforms B independent lines at once from a
+// lane-interleaved workspace (element j of lane l at data[j*nlanes + l]):
+// every butterfly stage, Bluestein chirp multiply, and rfft/irfft pack/unpack
+// bin is evaluated across lanes with the per-position twiddle broadcast, so
+// each lane executes the identical per-line operation sequence. A line's
+// bits therefore do not depend on how many lanes share its batch (batch
+// occupancy invariance) — full batches, ragged tails, and the single-line
+// path all agree bitwise per ISA tier, which is what keeps the Tier A
+// determinism contract (and the scalar-tier seed fixture CRC) intact while
+// the line grouping changes with thread count and mode pruning.
+
+/// Upper bound on lanes any batched path may request; batch scratch sized
+/// with this stays valid when the active ISA is switched after planning.
+inline constexpr index_t kMaxLanes = 8;
+
+/// Lanes per batched line sweep for element type T on the given ISA tier:
+/// one SIMD register of lanes on avx2 (8 f32 / 4 f64), a fixed 4-lane block
+/// on the scalar tier (gather/scatter locality still pays for itself).
+template <typename T>
+index_t lane_count(util::Isa isa) {
+#if defined(TURBFNO_HAS_AVX2_KERNELS)
+  if (isa == util::Isa::kAvx2) {
+    return std::is_same_v<T, float> ? index_t{8} : index_t{4};
+  }
+#else
+  (void)isa;
+#endif
+  return 4;
+}
+
+namespace detail {
+
+inline std::atomic<int>& line_batching_flag() {
+  static std::atomic<int> flag = [] {
+    const char* env = std::getenv("TURBFNO_FFT_BATCH");
+    return (env != nullptr && env[0] == '0' && env[1] == '\0') ? 0 : 1;
+  }();
+  return flag;
+}
+
+}  // namespace detail
+
+/// Whether the lane-per-line batched FFT path is active (default on; set
+/// TURBFNO_FFT_BATCH=0 or call set_line_batching(false) to force the
+/// per-line reference path, e.g. for baseline benchmarking).
+inline bool line_batching_enabled() {
+  return detail::line_batching_flag().load(std::memory_order_relaxed) != 0;
+}
+
+inline void set_line_batching(bool on) {
+  detail::line_batching_flag().store(on ? 1 : 0, std::memory_order_relaxed);
+}
+
+/// RAII batching override for benches and property tests.
+class ScopedLineBatching {
+ public:
+  explicit ScopedLineBatching(bool on) : prev_(line_batching_enabled()) {
+    set_line_batching(on);
+  }
+  ~ScopedLineBatching() { set_line_batching(prev_); }
+  ScopedLineBatching(const ScopedLineBatching&) = delete;
+  ScopedLineBatching& operator=(const ScopedLineBatching&) = delete;
+
+ private:
+  bool prev_;
+};
 
 template <typename T>
 class PlanC2C {
@@ -58,6 +129,47 @@ class PlanC2C {
 
   /// In-place inverse DFT (scaled by 1/n).
   void inverse(cpx* x) const { execute(x, /*inverse=*/true); }
+
+  /// Lane-per-line batched transforms over `nlanes` independent lines held
+  /// lane-interleaved in `x` (element j of lane l at x[j*nlanes + l]).
+  /// Every lane's result is bitwise identical to running forward()/inverse()
+  /// on that line alone under the same ISA tier (batch occupancy invariance;
+  /// see the header comment). nlanes must be in [1, kMaxLanes].
+  void forward_batch(cpx* x, index_t nlanes) const {
+    execute_batch(x, nlanes, /*inverse=*/false);
+  }
+
+  void inverse_batch(cpx* x, index_t nlanes) const {
+    execute_batch(x, nlanes, /*inverse=*/true);
+  }
+
+  /// Does this plan execute batches through lane-interleaved SIMD kernels
+  /// under the currently active ISA? When false, execute_batch would just
+  /// transpose to line-major and run per lane — callers that control the
+  /// gather layout should instead gather line-major and use
+  /// forward_lines/inverse_lines, skipping both transposes while keeping
+  /// the batched gather's cache-line sharing on strided slabs.
+  [[nodiscard]] bool batch_wants_lanes() const {
+#if defined(TURBFNO_HAS_AVX2_KERNELS)
+    if constexpr (std::is_same_v<T, float> || std::is_same_v<T, double>) {
+      return sub_ == nullptr && util::active_isa() == util::Isa::kAvx2;
+    }
+#endif
+    return false;
+  }
+
+  /// Line-major batched transforms: `nlines` contiguous lines of length n,
+  /// line l at x + l*n. Each line runs the pinned single-line path, so the
+  /// results are trivially bitwise identical to forward()/inverse() per
+  /// line; this is the no-transpose companion of forward_batch for tiers
+  /// without lane kernels (see batch_wants_lanes).
+  void forward_lines(cpx* x, index_t nlines) const {
+    for (index_t l = 0; l < nlines; ++l) execute(x + l * n_, false);
+  }
+
+  void inverse_lines(cpx* x, index_t nlines) const {
+    for (index_t l = 0; l < nlines; ++l) execute(x + l * n_, true);
+  }
 
  private:
   void init_radix2() {
@@ -121,7 +233,15 @@ class PlanC2C {
     sub_->forward(bf_.data());
   }
 
-  void execute(cpx* x, bool inverse) const {
+  // noinline+noclone pin a single compiled body for the single-line
+  // transform: it is the bitwise reference for the batched fallback in
+  // execute_batch, and under -O3 GCC otherwise re-contracts inlined copies
+  // and constant-propagation clones (e.g. an inverse=true .constprop clone)
+  // of this function differently per call site — observed for f64 — which
+  // would make "the same" transform round differently depending on who
+  // called it.
+  __attribute__((noinline, noclone)) void execute(cpx* x,
+                                                  bool inverse) const {
     if (sub_ == nullptr) {
       radix2(x, inverse);
       if (inverse) {
@@ -172,6 +292,71 @@ class PlanC2C {
           x[base + j + half] = u - v;
         }
       }
+    }
+  }
+
+  // Batched execution discipline: every floating-point rounding in the
+  // batched path is produced either by an intrinsics lane kernel (fixed
+  // arithmetic by construction) or by the exact single-line code running on
+  // a de-interleaved copy. Compiler-generated per-lane FP loops are banned —
+  // under -O3 -ffp-contract=fast GCC contracts/unswitches/vectorizes the
+  // "same" expressions differently per code shape (lane count, keep-mask
+  // null-ness, forward/inverse constant propagation), which silently breaks
+  // batch occupancy invariance. Exact operations (copies, swaps, conj,
+  // componentwise scaling) are exempt: they round nothing.
+  void execute_batch(cpx* x, index_t nlanes, bool inverse) const {
+    TURB_CHECK_MSG(nlanes >= 1 && nlanes <= kMaxLanes,
+                   "batched FFT lane count " << nlanes << " out of range");
+    if (nlanes == 1) {
+      // A one-lane batch is exactly the single-line layout.
+      execute(x, inverse);
+      return;
+    }
+#if defined(TURBFNO_HAS_AVX2_KERNELS)
+    if constexpr (std::is_same_v<T, float> || std::is_same_v<T, double>) {
+      if (sub_ == nullptr && util::active_isa() == util::Isa::kAvx2) {
+        // Permute whole lane groups (exact swaps).
+        for (index_t i = 0; i < n_; ++i) {
+          const index_t r = bitrev_[static_cast<std::size_t>(i)];
+          if (i < r) {
+            cpx* a = x + i * nlanes;
+            cpx* b = x + r * nlanes;
+            for (index_t l = 0; l < nlanes; ++l) std::swap(a[l], b[l]);
+          }
+        }
+        for (index_t len = 2; len <= n_; len <<= 1) {
+          const index_t half = len / 2;
+          avx2::radix2_stage_lanes(x, n_, len, stage_tw_.data() + (half - 1),
+                                   nlanes, inverse);
+        }
+        if (inverse) {
+          // Componentwise scaling is exact arithmetic-shape-wise: one
+          // rounding per component, independent of vectorization.
+          const T scale = T{1} / static_cast<T>(n_);
+          const index_t total = n_ * nlanes;
+          for (index_t i = 0; i < total; ++i) x[i] *= scale;
+        }
+        return;
+      }
+    }
+#endif
+    // Reference fallback (scalar tier, Bluestein lengths, non-SIMD types):
+    // de-interleave and run the pinned single-line path per lane. The
+    // copies are exact, so equality with the single-line transform is
+    // structural, and the caller still gets the batched gather's
+    // cache-line sharing on strided slabs.
+    thread_local std::vector<cpx> lines;
+    lines.resize(static_cast<std::size_t>(n_ * nlanes));
+    for (index_t j = 0; j < n_; ++j) {
+      const cpx* src = x + j * nlanes;
+      for (index_t l = 0; l < nlanes; ++l) lines[l * n_ + j] = src[l];
+    }
+    for (index_t l = 0; l < nlanes; ++l) {
+      execute(lines.data() + l * n_, inverse);
+    }
+    for (index_t j = 0; j < n_; ++j) {
+      cpx* dst = x + j * nlanes;
+      for (index_t l = 0; l < nlanes; ++l) dst[l] = lines[l * n_ + j];
     }
   }
 

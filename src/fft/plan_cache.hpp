@@ -39,20 +39,36 @@ template <typename T>
 /// tables, Bluestein scratch) is timed separately from execution so profiles
 /// can distinguish one-off setup cost from the per-transform work.
 ///
-/// A per-thread memo of the most recent length short-circuits the mutex +
-/// map walk: the row loops of rfftn/irfftn request the same length millions
-/// of times in a row, and the lock was showing up in profiles. The
-/// fft/plan_cache_hits counter therefore only counts lookups that fall
-/// through the memo (length changes), not every call.
+/// A per-thread memo short-circuits the mutex + map walk: the row loops of
+/// rfftn/irfftn request the same length millions of times in a row, and the
+/// lock was showing up in profiles. The memo holds the four most recent
+/// lengths (linear scan, round-robin replacement — NOT direct-mapped by low
+/// bits, which would alias the all-power-of-two lengths an n-d transform
+/// alternates between: last-axis half length, earlier-axis extents, and the
+/// Bluestein sub-plan length). Four entries cover the working set of a 3-d
+/// transform with a Bluestein axis, so alternating stages stop thrashing
+/// the single-slot memo this replaced.
+///
+/// Counter semantics: fft/plan_cache_hits and fft/plan_cache_misses count
+/// only lookups that fall through the memo (a length outside the per-thread
+/// recent-four set), not every plan() call. A miss additionally means the
+/// plan was constructed for the first time process-wide. Steady-state
+/// traffic on fixed shapes should therefore hold both counters flat — the
+/// perf smoke in scripts/check_tier1.sh asserts exactly that for misses.
 template <typename T>
 const PlanC2C<T>& plan(index_t n) {
-  thread_local index_t memo_n = -1;
-  thread_local const PlanC2C<T>* memo = nullptr;
-  if (n != memo_n) {
-    memo = &detail::plan_locked<T>(n);
-    memo_n = n;
+  constexpr int kMemoSlots = 4;
+  thread_local index_t memo_n[kMemoSlots] = {-1, -1, -1, -1};
+  thread_local const PlanC2C<T>* memo[kMemoSlots] = {};
+  thread_local int victim = 0;
+  for (int s = 0; s < kMemoSlots; ++s) {
+    if (memo_n[s] == n) return *memo[s];
   }
-  return *memo;
+  const PlanC2C<T>& p = detail::plan_locked<T>(n);
+  memo_n[victim] = n;
+  memo[victim] = &p;
+  victim = (victim + 1) % kMemoSlots;
+  return p;
 }
 
 }  // namespace turb::fft

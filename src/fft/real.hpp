@@ -138,6 +138,107 @@ void irfft_scratch(const std::complex<T>* in, T* out, index_t n,
   }
 }
 
+/// Lane-batched rfft over `nl` rows (nl in [1, kMaxLanes]): input row l at
+/// in + l*in_stride, output row l at out + l*out_stride. z_li (n/2 · nl) and
+/// u_li ((n/2+1) · nl) are caller-provided lane-interleaved scratch; tw is
+/// the fill_rfft_twiddles table. Per row the result is bitwise identical to
+/// rfft_scratch on that row alone under the same ISA tier: on the AVX2 tier
+/// the gather/scatter are exact copies and the transform/unpack run
+/// intrinsics lane kernels with fixed per-lane arithmetic; on the scalar
+/// tier the rows (already contiguous) run the pinned single-line kernel one
+/// lane at a time — no compiler-generated per-lane FP loops anywhere (see
+/// fft/plan.hpp on batch occupancy invariance). Bins masked out by
+/// keep_bins are skipped and their output slots left untouched.
+template <typename T>
+void rfft_batch_scratch(const T* in, index_t in_stride, std::complex<T>* out,
+                        index_t out_stride, index_t n, index_t nl,
+                        const std::uint8_t* keep_bins, std::complex<T>* z_li,
+                        std::complex<T>* u_li, const std::complex<T>* tw) {
+  using cpx = std::complex<T>;
+  TURB_CHECK_MSG(n >= 2 && n % 2 == 0, "rfft length must be even, got " << n);
+  const index_t h = n / 2;
+  if (nl == 1) {
+    rfft_scratch(in, out, n, keep_bins, z_li, tw);
+    return;
+  }
+#if defined(TURBFNO_HAS_AVX2_KERNELS)
+  if constexpr (std::is_same_v<T, float> || std::is_same_v<T, double>) {
+    if (util::active_isa() == util::Isa::kAvx2) {
+      for (index_t l = 0; l < nl; ++l) {
+        const T* row = in + l * in_stride;
+        for (index_t k = 0; k < h; ++k) {
+          z_li[k * nl + l] = cpx(row[2 * k], row[2 * k + 1]);
+        }
+      }
+      plan<T>(h).forward_batch(z_li, nl);
+      avx2::rfft_unpack_lanes(z_li, u_li, h, keep_bins, tw, nl);
+      for (index_t l = 0; l < nl; ++l) {
+        cpx* orow = out + l * out_stride;
+        for (index_t k = 0; k <= h; ++k) {
+          if (keep_bins != nullptr && keep_bins[k] == 0) continue;
+          orow[k] = u_li[k * nl + l];
+        }
+      }
+      return;
+    }
+  }
+#endif
+  // Scalar tier: each row is contiguous in memory already, so run the
+  // single-line kernel per lane (z_li's first h slots serve as the per-row
+  // scratch). The batch still amortises the caller's twiddle fill and
+  // chunk bookkeeping.
+  (void)u_li;
+  for (index_t l = 0; l < nl; ++l) {
+    rfft_scratch(in + l * in_stride, out + l * out_stride, n, keep_bins, z_li,
+                 tw);
+  }
+}
+
+/// Lane-batched irfft over `nl` rows: spectrum row l at in + l*in_stride
+/// (n/2+1 elements), real output row l at out + l*out_stride. u_li holds
+/// (n/2+1) · nl and z_li n/2 · nl lane-interleaved scratch; tw is the
+/// fill_irfft_twiddles table. Bitwise identical per row to irfft_scratch
+/// under the same ISA tier.
+template <typename T>
+void irfft_batch_scratch(const std::complex<T>* in, index_t in_stride, T* out,
+                         index_t out_stride, index_t n, index_t nl,
+                         std::complex<T>* z_li, std::complex<T>* u_li,
+                         const std::complex<T>* tw) {
+  using cpx = std::complex<T>;
+  TURB_CHECK_MSG(n >= 2 && n % 2 == 0, "irfft length must be even, got " << n);
+  const index_t h = n / 2;
+  if (nl == 1) {
+    irfft_scratch(in, out, n, z_li, tw);
+    return;
+  }
+#if defined(TURBFNO_HAS_AVX2_KERNELS)
+  if constexpr (std::is_same_v<T, float> || std::is_same_v<T, double>) {
+    if (util::active_isa() == util::Isa::kAvx2) {
+      for (index_t l = 0; l < nl; ++l) {
+        const cpx* row = in + l * in_stride;
+        for (index_t k = 0; k <= h; ++k) u_li[k * nl + l] = row[k];
+      }
+      avx2::irfft_pack_lanes(u_li, z_li, h, tw, nl);
+      plan<T>(h).inverse_batch(z_li, nl);
+      for (index_t l = 0; l < nl; ++l) {
+        T* orow = out + l * out_stride;
+        for (index_t k = 0; k < h; ++k) {
+          orow[2 * k] = z_li[k * nl + l].real();
+          orow[2 * k + 1] = z_li[k * nl + l].imag();
+        }
+      }
+      return;
+    }
+  }
+#endif
+  // Scalar tier: run the pinned single-line kernel per lane (see
+  // rfft_batch_scratch for the rationale).
+  (void)u_li;
+  for (index_t l = 0; l < nl; ++l) {
+    irfft_scratch(in + l * in_stride, out + l * out_stride, n, z_li, tw);
+  }
+}
+
 /// Forward real-to-complex DFT. `out` must hold n/2+1 elements.
 ///
 /// `keep_bins` (optional, length n/2+1) marks which output bins the caller

@@ -64,7 +64,9 @@ InferenceEngine::InferenceEngine(fno::Fno& model, EngineOptions options)
       fft_lines_total_(obs::counter("fft/lines_total")),
       fft_lines_skipped_(obs::counter("fft/pruned_lines_skipped")),
       fft_r2c_lines_(obs::counter("fft/r2c_lines")),
-      fft_c2r_lines_(obs::counter("fft/c2r_lines")) {
+      fft_c2r_lines_(obs::counter("fft/c2r_lines")),
+      fft_batched_lines_(obs::counter("fft/batched_lines")),
+      fft_batch_tail_lines_(obs::counter("fft/batch_tail_lines")) {
   wskip_.resize(static_cast<std::size_t>(cfg_.n_layers));
   bskip_.resize(static_cast<std::size_t>(cfg_.n_layers));
   pw_.resize(static_cast<std::size_t>(cfg_.n_layers));
@@ -286,11 +288,18 @@ void InferenceEngine::plan(const Shape& in_shape) {
   off_z_.assign(slots_, 0);
   off_line_.assign(slots_, 0);
   off_xg_.assign(slots_, 0);
+  off_zl_.assign(slots_, 0);
+  off_ul_.assign(slots_, 0);
+  off_lanes_.assign(slots_, 0);
+  const index_t h = n_last_ / 2;
   for (std::size_t t = 0; t < slots_; ++t) {
     off_tile_[t] = arena_.reserve<float>(tile_rows_ * kColBlock);
-    off_z_[t] = arena_.reserve<cpxf>(n_last_ / 2);
+    off_z_[t] = arena_.reserve<cpxf>(h);
     off_line_[t] = arena_.reserve<cpxf>(line_len_);
     off_xg_[t] = arena_.reserve<cpxf>(w);
+    off_zl_[t] = arena_.reserve<cpxf>(h * fft::kMaxLanes);
+    off_ul_[t] = arena_.reserve<cpxf>((h + 1) * fft::kMaxLanes);
+    off_lanes_[t] = arena_.reserve<cpxf>(line_len_ * fft::kMaxLanes);
   }
   arena_.commit();  // zero-fill: establishes the y_spec zero invariant
   arena_gauge_.set(static_cast<double>(arena_.bytes()));
@@ -425,6 +434,26 @@ void InferenceEngine::rfft_rows(const float* in, cpxf* out) {
   util::fft_dispatch_counter(util::active_isa()).add(1);
   const std::uint8_t* keep = keep_bins_.empty() ? nullptr : keep_bins_.data();
   const cpxf* tw = arena_.at<cpxf>(off_twf_);
+  const index_t b =
+      fft::line_batching_enabled() ? fft::lane_count<float>(isa_) : 1;
+  if (b > 1) {
+    run_chunks(*pool_, rows, [&](index_t rb, index_t re) {
+      const std::size_t slot = pool_->scratch_slot();
+      cpxf* zl = arena_.at<cpxf>(off_zl_[slot]);
+      cpxf* ul = arena_.at<cpxf>(off_ul_[slot]);
+      std::int64_t my_batched = 0, my_tails = 0;
+      for (index_t r = rb; r < re; r += b) {
+        const index_t nl = std::min(b, re - r);
+        fft::rfft_batch_scratch(in + r * n_last_, n_last_, out + r * out_row,
+                                out_row, n_last_, nl, keep, zl, ul, tw);
+        my_batched += nl;
+        if (nl < b) my_tails += nl;
+      }
+      fft_batched_lines_.add(my_batched);
+      if (my_tails != 0) fft_batch_tail_lines_.add(my_tails);
+    });
+    return;
+  }
   run_chunks(*pool_, rows, [&](index_t rb, index_t re) {
     cpxf* z = arena_.at<cpxf>(off_z_[pool_->scratch_slot()]);
     for (index_t r = rb; r < re; ++r) {
@@ -441,6 +470,26 @@ void InferenceEngine::irfft_rows(const cpxf* in, float* out) {
   fft_lines_total_.add(rows);
   util::fft_dispatch_counter(util::active_isa()).add(1);
   const cpxf* tw = arena_.at<cpxf>(off_twi_);
+  const index_t b =
+      fft::line_batching_enabled() ? fft::lane_count<float>(isa_) : 1;
+  if (b > 1) {
+    run_chunks(*pool_, rows, [&](index_t rb, index_t re) {
+      const std::size_t slot = pool_->scratch_slot();
+      cpxf* zl = arena_.at<cpxf>(off_zl_[slot]);
+      cpxf* ul = arena_.at<cpxf>(off_ul_[slot]);
+      std::int64_t my_batched = 0, my_tails = 0;
+      for (index_t r = rb; r < re; r += b) {
+        const index_t nl = std::min(b, re - r);
+        fft::irfft_batch_scratch(in + r * in_row, in_row, out + r * n_last_,
+                                 n_last_, n_last_, nl, zl, ul, tw);
+        my_batched += nl;
+        if (nl < b) my_tails += nl;
+      }
+      fft_batched_lines_.add(my_batched);
+      if (my_tails != 0) fft_batch_tail_lines_.add(my_tails);
+    });
+    return;
+  }
   run_chunks(*pool_, rows, [&](index_t rb, index_t re) {
     cpxf* z = arena_.at<cpxf>(off_z_[pool_->scratch_slot()]);
     for (index_t r = rb; r < re; ++r) {
@@ -476,6 +525,71 @@ void InferenceEngine::c2c_stage(const cpxf* src, cpxf* dst, const C2cStage& st,
   // a slab-sized memcpy); the gathered values and the transform are the
   // same either way, and skipped lines leave dst untouched — zero by the
   // arena-commit invariant, exactly what the in-place path would hold.
+  //
+  // With line batching on, kept lines are collected into lane-interleaved
+  // batches of up to B within each chunk (mirroring fft::c2c_axis), so the
+  // chunk partition and thread-count determinism are unchanged; batch
+  // occupancy invariance (fft/plan.hpp) makes the grouping unobservable in
+  // the output bits.
+  const index_t b =
+      fft::line_batching_enabled() ? fft::lane_count<float>(isa_) : 1;
+  if (b > 1) {
+    const bool lanes_layout = p.batch_wants_lanes();
+    run_chunks(*pool_, st.outer * inner, [&](index_t tb, index_t te) {
+      cpxf* work = arena_.at<cpxf>(off_lanes_[pool_->scratch_slot()]);
+      const cpxf* in_lanes[fft::kMaxLanes];
+      cpxf* out_lanes[fft::kMaxLanes];
+      index_t count = 0;
+      std::int64_t my_batched = 0, my_tails = 0;
+      const auto flush = [&] {
+        if (count == 0) return;
+        if (lanes_layout) {
+          for (index_t l = 0; l < count; ++l) {
+            const cpxf* base = in_lanes[l];
+            for (index_t j = 0; j < n; ++j) {
+              work[j * count + l] = base[j * inner];
+            }
+          }
+          forward_dir ? p.forward_batch(work, count)
+                      : p.inverse_batch(work, count);
+          for (index_t l = 0; l < count; ++l) {
+            cpxf* base = out_lanes[l];
+            for (index_t j = 0; j < n; ++j) {
+              base[j * inner] = work[j * count + l];
+            }
+          }
+        } else {
+          for (index_t l = 0; l < count; ++l) {
+            const cpxf* base = in_lanes[l];
+            cpxf* w = work + l * n;
+            for (index_t j = 0; j < n; ++j) w[j] = base[j * inner];
+          }
+          forward_dir ? p.forward_lines(work, count)
+                      : p.inverse_lines(work, count);
+          for (index_t l = 0; l < count; ++l) {
+            cpxf* base = out_lanes[l];
+            const cpxf* w = work + l * n;
+            for (index_t j = 0; j < n; ++j) base[j * inner] = w[j];
+          }
+        }
+        my_batched += count;
+        if (count < b) my_tails += count;
+        count = 0;
+      };
+      for (index_t t = tb; t < te; ++t) {
+        const index_t o = t / inner;
+        const index_t i = t % inner;
+        if (keep != nullptr && keep[i] == 0) continue;
+        in_lanes[count] = src + o * n * inner + i;
+        out_lanes[count] = dst + o * n * inner + i;
+        if (++count == b) flush();
+      }
+      flush();
+      fft_batched_lines_.add(my_batched);
+      if (my_tails != 0) fft_batch_tail_lines_.add(my_tails);
+    });
+    return;
+  }
   run_chunks(*pool_, st.outer * inner, [&](index_t tb, index_t te) {
     cpxf* line = arena_.at<cpxf>(off_line_[pool_->scratch_slot()]);
     for (index_t t = tb; t < te; ++t) {

@@ -219,6 +219,10 @@ class InferenceEngine {
   std::size_t off_xspec_ = 0, off_yspec_ = 0, off_work_ = 0;
   std::size_t off_twf_ = 0, off_twi_ = 0;  // rfft/irfft twiddle tables
   std::vector<std::size_t> off_tile_, off_z_, off_line_, off_xg_;  // per slot
+  // Per-slot lane-interleaved scratch for batched line FFTs, sized for
+  // fft::kMaxLanes so the runtime lane count (ISA- and type-dependent)
+  // always fits without reallocation.
+  std::vector<std::size_t> off_zl_, off_ul_, off_lanes_;  // per slot
   index_t tile_rows_ = 0;   // max channel count staged in a tile
   index_t line_len_ = 0;    // max c2c extent
 
@@ -231,6 +235,8 @@ class InferenceEngine {
   obs::Counter& fft_lines_skipped_;
   obs::Counter& fft_r2c_lines_;
   obs::Counter& fft_c2r_lines_;
+  obs::Counter& fft_batched_lines_;
+  obs::Counter& fft_batch_tail_lines_;
 };
 
 }  // namespace turb::infer

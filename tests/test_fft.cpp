@@ -12,6 +12,7 @@
 #include "fft/real.hpp"
 #include "fft/workspace.hpp"
 #include "tensor/tensor.hpp"
+#include "util/isa.hpp"
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
 
@@ -601,6 +602,255 @@ TEST(FftPruned, MaskShapeMismatchRejected) {
   EXPECT_THROW(rfftn(x, 2, &bad), CheckError);
   fft::ModeMask wrong_rank(1);
   EXPECT_THROW(rfftn(x, 2, &wrong_rank), CheckError);
+}
+
+// --- batched-vs-single bitwise equivalence -----------------------------------
+//
+// Batch occupancy invariance: a line's floating-point bits must not depend on
+// how many other lines share its batch or which lane it lands in. Checked at
+// the plan level (forward_batch/inverse_batch against per-line forward/inverse
+// at lane counts 1, B-1, B, B+1) and through the drivers (c2c_axis and
+// rfftn/irfftn with line batching toggled, line counts 1, B-1, B, B+1, 3B+2,
+// pruned and unpruned, pool widths 1/2/4), for f32 and f64, on every ISA tier
+// the host supports. B is the tier's lane count.
+
+/// Line counts that exercise full batches and every ragged-tail shape.
+template <typename T>
+std::vector<index_t> ragged_line_counts() {
+  const index_t b = lane_count<T>(util::active_isa());
+  std::vector<index_t> counts;
+  for (const index_t c : {index_t{1}, b - 1, b, b + 1, 3 * b + 2}) {
+    if (c >= 1 && std::find(counts.begin(), counts.end(), c) == counts.end()) {
+      counts.push_back(c);
+    }
+  }
+  return counts;
+}
+
+template <typename T>
+void expect_plan_batch_bitwise() {
+  using cpx = std::complex<T>;
+  const index_t b = lane_count<T>(util::active_isa());
+  // 16/64 take the radix-2 path, 10/12/15 the Bluestein path.
+  for (const index_t n : {index_t{16}, index_t{64}, index_t{10}, index_t{12},
+                          index_t{15}}) {
+    const PlanC2C<T> plan(n);
+    for (const index_t nl :
+         {index_t{1}, b - 1, b, std::min(b + 1, kMaxLanes)}) {
+      if (nl < 1) continue;
+      Rng rng(50 + static_cast<std::uint64_t>(n * 16 + nl));
+      std::vector<cpx> batched(static_cast<std::size_t>(n * nl));
+      std::vector<cpx> ref(static_cast<std::size_t>(n * nl));
+      for (index_t l = 0; l < nl; ++l) {
+        for (index_t j = 0; j < n; ++j) {
+          const cpx v(static_cast<T>(rng.normal()),
+                      static_cast<T>(rng.normal()));
+          batched[static_cast<std::size_t>(j * nl + l)] = v;  // lane-interleaved
+          ref[static_cast<std::size_t>(l * n + j)] = v;       // line-major
+        }
+      }
+      for (const bool inverse : {false, true}) {
+        auto got = batched;
+        auto want = ref;
+        if (inverse) {
+          plan.inverse_batch(got.data(), nl);
+          for (index_t l = 0; l < nl; ++l) plan.inverse(want.data() + l * n);
+        } else {
+          plan.forward_batch(got.data(), nl);
+          for (index_t l = 0; l < nl; ++l) plan.forward(want.data() + l * n);
+        }
+        for (index_t l = 0; l < nl; ++l) {
+          for (index_t j = 0; j < n; ++j) {
+            const cpx g = got[static_cast<std::size_t>(j * nl + l)];
+            const cpx w = want[static_cast<std::size_t>(l * n + j)];
+            ASSERT_EQ(g.real(), w.real())
+                << "n=" << n << " nl=" << nl << " l=" << l << " j=" << j
+                << " inverse=" << inverse;
+            ASSERT_EQ(g.imag(), w.imag())
+                << "n=" << n << " nl=" << nl << " l=" << l << " j=" << j
+                << " inverse=" << inverse;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(FftBatched, PlanBatchMatchesSingleBitwiseScalar) {
+  util::ScopedIsa forced(util::Isa::kScalar);
+  expect_plan_batch_bitwise<float>();
+  expect_plan_batch_bitwise<double>();
+}
+
+TEST(FftBatched, PlanBatchMatchesSingleBitwiseAvx2) {
+  if (!util::cpu_supports_avx2()) GTEST_SKIP() << "host lacks avx2";
+  util::ScopedIsa forced(util::Isa::kAvx2);
+  expect_plan_batch_bitwise<float>();
+  expect_plan_batch_bitwise<double>();
+}
+
+template <typename T>
+void expect_c2c_batch_bitwise() {
+  using cpx = std::complex<T>;
+  for (const index_t nlines : ragged_line_counts<T>()) {
+    for (const index_t n : {index_t{16}, index_t{12}, index_t{15}}) {
+      Rng rng(60 + static_cast<std::uint64_t>(n * 64 + nlines));
+      // Lines along axis 1; the inner axis extent is the line count, so an
+      // inner_keep mask prunes whole lines and the batch gather goes ragged.
+      Tensor<cpx> x({2, n, nlines});
+      for (index_t i = 0; i < x.size(); ++i) {
+        x[i] = {static_cast<T>(rng.normal()), static_cast<T>(rng.normal())};
+      }
+      std::vector<std::uint8_t> keep(static_cast<std::size_t>(nlines), 0);
+      for (index_t l = 0; l < nlines; l += 2) {
+        keep[static_cast<std::size_t>(l)] = 1;
+      }
+      for (const std::vector<std::uint8_t>* kp :
+           {static_cast<const std::vector<std::uint8_t>*>(nullptr),
+            static_cast<const std::vector<std::uint8_t>*>(&keep)}) {
+        for (const bool forward : {true, false}) {
+          for (const std::size_t width : kWidths) {
+            ThreadPool::Scope scope(width);
+            Tensor<cpx> ref = x;
+            {
+              ScopedLineBatching off(false);
+              c2c_axis(ref, 1, forward, kp);
+            }
+            Tensor<cpx> bat = x;
+            {
+              ScopedLineBatching on(true);
+              c2c_axis(bat, 1, forward, kp);
+            }
+            for (index_t i = 0; i < ref.size(); ++i) {
+              ASSERT_EQ(bat[i].real(), ref[i].real())
+                  << "n=" << n << " nlines=" << nlines << " width=" << width
+                  << " masked=" << (kp != nullptr) << " i=" << i;
+              ASSERT_EQ(bat[i].imag(), ref[i].imag())
+                  << "n=" << n << " nlines=" << nlines << " width=" << width
+                  << " masked=" << (kp != nullptr) << " i=" << i;
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(FftBatched, C2cAxisBatchedMatchesPerLineBitwiseScalar) {
+  util::ScopedIsa forced(util::Isa::kScalar);
+  expect_c2c_batch_bitwise<float>();
+  expect_c2c_batch_bitwise<double>();
+}
+
+TEST(FftBatched, C2cAxisBatchedMatchesPerLineBitwiseAvx2) {
+  if (!util::cpu_supports_avx2()) GTEST_SKIP() << "host lacks avx2";
+  util::ScopedIsa forced(util::Isa::kAvx2);
+  expect_c2c_batch_bitwise<float>();
+  expect_c2c_batch_bitwise<double>();
+}
+
+template <typename T>
+void expect_real_batch_bitwise() {
+  using cpx = std::complex<T>;
+  constexpr index_t kNLast = 16;
+  for (const index_t nlines : ragged_line_counts<T>()) {
+    Rng rng(70 + static_cast<std::uint64_t>(nlines));
+    // 2-D transform: `nlines` rfft rows over a Bluestein c2c axis. The
+    // corner mask prunes lines on the c2c axis and bins on the rfft axis.
+    Tensor<T> x({nlines, 12, kNLast});
+    for (index_t i = 0; i < x.size(); ++i) {
+      x[i] = static_cast<T>(rng.normal());
+    }
+    const ModeMask mask = corner_mask(x.shape(), 2, {6, 6});
+    for (const ModeMask* mp : {static_cast<const ModeMask*>(nullptr), &mask}) {
+      for (const std::size_t width : kWidths) {
+        ThreadPool::Scope scope(width);
+        const auto spec_ref = [&] {
+          ScopedLineBatching off(false);
+          return rfftn(x, 2, mp);
+        }();
+        const auto spec_bat = [&] {
+          ScopedLineBatching on(true);
+          return rfftn(x, 2, mp);
+        }();
+        ASSERT_EQ(spec_bat.shape(), spec_ref.shape());
+        const index_t spec_block =
+            spec_ref.shape()[1] * spec_ref.shape()[2];
+        for (index_t i = 0; i < spec_ref.size(); ++i) {
+          // Pruned rfftn leaves unkept coordinates unspecified; compare the
+          // kept set only (everything when unmasked).
+          if (mp != nullptr &&
+              !coord_kept(*mp, spec_ref.shape(), 2, i % spec_block)) {
+            continue;
+          }
+          ASSERT_EQ(spec_bat[i].real(), spec_ref[i].real())
+              << "nlines=" << nlines << " width=" << width
+              << " masked=" << (mp != nullptr) << " i=" << i;
+          ASSERT_EQ(spec_bat[i].imag(), spec_ref[i].imag())
+              << "nlines=" << nlines << " width=" << width
+              << " masked=" << (mp != nullptr) << " i=" << i;
+        }
+        // Inverse: corner spectrum (zero outside the kept set) so pruned
+        // irfftn is bitwise-defined everywhere.
+        Tensor<cpx> spec = spec_ref;
+        if (mp != nullptr) {
+          for (index_t i = 0; i < spec.size(); ++i) {
+            if (!coord_kept(*mp, spec.shape(), 2, i % spec_block)) {
+              spec[i] = {};
+            }
+          }
+        }
+        const auto back_ref = [&] {
+          ScopedLineBatching off(false);
+          return irfftn(spec, 2, kNLast, mp);
+        }();
+        const auto back_bat = [&] {
+          ScopedLineBatching on(true);
+          return irfftn(spec, 2, kNLast, mp);
+        }();
+        ASSERT_EQ(back_bat.shape(), back_ref.shape());
+        for (index_t i = 0; i < back_ref.size(); ++i) {
+          ASSERT_EQ(back_bat[i], back_ref[i])
+              << "nlines=" << nlines << " width=" << width
+              << " masked=" << (mp != nullptr) << " i=" << i;
+        }
+      }
+    }
+  }
+}
+
+TEST(FftBatched, RfftnIrfftnBatchedMatchesPerLineBitwiseScalar) {
+  util::ScopedIsa forced(util::Isa::kScalar);
+  expect_real_batch_bitwise<float>();
+  expect_real_batch_bitwise<double>();
+}
+
+TEST(FftBatched, RfftnIrfftnBatchedMatchesPerLineBitwiseAvx2) {
+  if (!util::cpu_supports_avx2()) GTEST_SKIP() << "host lacks avx2";
+  util::ScopedIsa forced(util::Isa::kAvx2);
+  expect_real_batch_bitwise<float>();
+  expect_real_batch_bitwise<double>();
+}
+
+TEST(FftBatched, BatchedLineCountersAdvance) {
+  util::ScopedIsa forced(util::Isa::kScalar);
+  ScopedLineBatching on(true);
+  auto& batched = obs::counter("fft/batched_lines");
+  auto& tails = obs::counter("fft/batch_tail_lines");
+  const auto batched0 = batched.value();
+  const auto tails0 = tails.value();
+  const index_t b = lane_count<double>(util::Isa::kScalar);
+  Tensor<std::complex<double>> x({1, 16, 3 * b + 2});
+  Rng rng(81);
+  for (index_t i = 0; i < x.size(); ++i) x[i] = {rng.normal(), rng.normal()};
+  {
+    ThreadPool::Scope scope(1);
+    c2c_axis(x, 1, /*forward=*/true);
+  }
+  EXPECT_GT(batched.value() - batched0, 0);
+  // 3B+2 total lines: however the range is chunked, at least one flush group
+  // is ragged, so the tail counter must advance too.
+  EXPECT_GT(tails.value() - tails0, 0);
 }
 
 // --- workspace cache ---------------------------------------------------------
