@@ -6,7 +6,9 @@
 // under each forced microkernel ISA (--isa / util::ScopedIsa) and at each
 // reduced serving precision (bf16 / fp16 engine pools), so the dispatch
 // tier and the weight-compression tier both show up in the trajectory
-// record. Three correctness exercises ride along and gate the exit code:
+// record. Ensemble rows serve 16 logical sessions at K ∈ {1, 2, 4, 8}
+// members each, recording member-snapshot throughput and the mean relative
+// spread. Four correctness exercises ride along and gate the exit code:
 //
 //   * bitwise verification — a small session set is served concurrently at
 //     thread-pool widths 1 and 4 and compared byte-for-byte against
@@ -14,6 +16,10 @@
 //   * compressed-serving contract — the same session set served through a
 //     bf16 engine pool must stay within the documented per-snapshot
 //     relative-L2 bound of the fp32 results (DESIGN.md "Precision tiers");
+//   * ensemble reduction contract — identical members (eps = 0) must reduce
+//     to exactly-zero variance, perturbed members to finite positive
+//     variance, and serve/ensemble_members must account every fanned-out
+//     member stream;
 //   * admission saturation — a deliberately tiny queue is overfilled and
 //     the reject-with-reason path (serve/admission_rejects) asserted.
 //
@@ -188,6 +194,76 @@ bench::JsonObject level_row(const LevelStats& s) {
   return row;
 }
 
+struct EnsembleLevel {
+  index_t k = 1;
+  index_t sessions = 0;
+  double wall_seconds = 0.0;
+  /// Member-snapshot throughput: sessions · k · steps / wall — the engine
+  /// work actually done, comparable across K.
+  double member_snapshots_per_s = 0.0;
+  double mean_rel_spread = 0.0;  ///< mean per-snapshot √variance / mean-RMS
+  std::vector<core::RolloutResult> results;
+};
+
+/// One ensemble throughput level: `sessions` logical sessions, each fanned
+/// into `k` member streams (k = 1 is the plain-session baseline).
+EnsembleLevel run_ensemble_level(core::FnoPropagator& fno_prop,
+                                 index_t sessions, index_t k, double eps) {
+  serve::ServeConfig sc = serve::ServeConfig::from_runtime();
+  sc.queue_capacity = std::max(sc.queue_capacity, sessions);
+  serve::RolloutServer server(fno_prop, nullptr, sc);
+
+  std::vector<core::RolloutRequest> requests;
+  requests.reserve(static_cast<std::size_t>(sessions));
+  for (index_t s = 0; s < sessions; ++s) {
+    core::RolloutRequest request;
+    request.seed = make_seed_history(g_grid, g_cin,
+                                     static_cast<std::uint64_t>(s) + 500);
+    request.steps = g_steps;
+    request.ensemble_k = k;
+    request.ensemble_eps = eps;
+    request.ensemble_seed = 0xe5ull + static_cast<std::uint64_t>(s);
+    requests.push_back(std::move(request));
+  }
+
+  std::vector<serve::SessionId> ids;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (auto& request : requests) {
+    const serve::Admission admission = server.submit(std::move(request));
+    if (!admission.admitted) {
+      std::cerr << "ensemble k=" << k
+                << " submit rejected: " << admission.reason << "\n";
+      std::exit(1);
+    }
+    ids.push_back(admission.id);
+  }
+  server.drain();
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  EnsembleLevel level;
+  level.k = k;
+  level.sessions = sessions;
+  level.wall_seconds = wall;
+  level.member_snapshots_per_s =
+      static_cast<double>(sessions * k * g_steps) / std::max(wall, 1e-12);
+  double spread_sum = 0.0;
+  std::int64_t spread_rows = 0;
+  for (const serve::SessionId id : ids) {
+    core::RolloutResult result = server.take(id);
+    for (const core::EnsembleSnapshotSpread& row : result.spread) {
+      spread_sum += row.rel_spread;
+      ++spread_rows;
+    }
+    level.results.push_back(std::move(result));
+  }
+  if (spread_rows > 0) {
+    level.mean_rel_spread = spread_sum / static_cast<double>(spread_rows);
+  }
+  return level;
+}
+
 /// Serve `n` sessions and return their results in submission order.
 std::vector<core::RolloutResult> serve_batch(core::FnoPropagator& fno_prop,
                                              index_t n,
@@ -332,6 +408,70 @@ int main(int argc, char** argv) {
     }
   }
 
+  // --- ensemble UQ: per-K throughput rows + reduction contract -----------
+  // Member-snapshot throughput per ensemble width, then the contract gate:
+  // identical members (eps = 0) must reduce to exactly-zero variance,
+  // perturbed members to finite positive variance, and the member
+  // accounting counter must add up.
+  const std::int64_t ensemble_members_before =
+      obs::counter("serve/ensemble_members").value();
+  std::int64_t ensemble_members_expected = 0;
+  std::vector<EnsembleLevel> ensemble_levels;
+  for (const index_t k : {index_t{1}, index_t{2}, index_t{4}, index_t{8}}) {
+    const index_t sessions = 16;
+    EnsembleLevel level = run_ensemble_level(fno_prop, sessions, k, 1e-3);
+    if (k > 1) ensemble_members_expected += sessions * k;
+    std::printf(
+        "ensemble k=%lld  %2lld sessions  wall %7.3f s  %10.1f member-snap/s"
+        "  mean rel spread %.3e\n",
+        static_cast<long long>(k), static_cast<long long>(sessions),
+        level.wall_seconds, level.member_snapshots_per_s,
+        level.mean_rel_spread);
+    level.results.clear();  // rows only; the contract legs below check bytes
+    ensemble_levels.push_back(std::move(level));
+  }
+
+  bool ensemble_zero_variance_ok = true;
+  bool ensemble_perturbed_ok = true;
+  {
+    const index_t contract_sessions = 4;
+    const EnsembleLevel identical =
+        run_ensemble_level(fno_prop, contract_sessions, 4, 0.0);
+    ensemble_members_expected += contract_sessions * 4;
+    for (const core::RolloutResult& result : identical.results) {
+      for (const core::EnsembleSnapshotSpread& row : result.spread) {
+        if (row.variance != 0.0 || row.rel_spread != 0.0 ||
+            row.energy_spread != 0.0) {
+          ensemble_zero_variance_ok = false;
+        }
+      }
+    }
+    const EnsembleLevel perturbed =
+        run_ensemble_level(fno_prop, contract_sessions, 4, 1e-3);
+    ensemble_members_expected += contract_sessions * 4;
+    for (const core::RolloutResult& result : perturbed.results) {
+      for (const core::EnsembleSnapshotSpread& row : result.spread) {
+        if (!std::isfinite(row.variance) || row.variance <= 0.0) {
+          ensemble_perturbed_ok = false;
+        }
+      }
+    }
+  }
+  const std::int64_t ensemble_members_delta =
+      obs::counter("serve/ensemble_members").value() -
+      ensemble_members_before;
+  const bool ensemble_ok = ensemble_zero_variance_ok &&
+                           ensemble_perturbed_ok &&
+                           ensemble_members_delta == ensemble_members_expected;
+  std::printf(
+      "ensemble contract: zero-variance %s  perturbed-variance %s  "
+      "members counter %lld/%lld: %s\n",
+      ensemble_zero_variance_ok ? "ok" : "FAILED",
+      ensemble_perturbed_ok ? "ok" : "FAILED",
+      static_cast<long long>(ensemble_members_delta),
+      static_cast<long long>(ensemble_members_expected),
+      ensemble_ok ? "ok" : "FAILED");
+
   // --- admission saturation ---------------------------------------------
   const std::int64_t rejects_before =
       obs::counter("serve/admission_rejects").value();
@@ -388,6 +528,29 @@ int main(int argc, char** argv) {
     vrows.push_back(std::move(row));
   }
   doc.array("variants", std::move(vrows));
+  std::vector<bench::JsonObject> erows;
+  for (const EnsembleLevel& level : ensemble_levels) {
+    bench::JsonObject row;
+    row.integer("k", level.k);
+    row.integer("sessions", level.sessions);
+    row.number("wall_seconds", level.wall_seconds, "%.4f");
+    row.number("member_snapshots_per_s", level.member_snapshots_per_s,
+               "%.1f");
+    row.raw("mean_rel_spread",
+            bench::json_number(level.mean_rel_spread, "%.3e"));
+    erows.push_back(std::move(row));
+  }
+  doc.array("ensembles", std::move(erows));
+  bench::JsonObject econtract;
+  econtract.integer("k", 4);
+  econtract.boolean("identical_members_zero_variance",
+                    ensemble_zero_variance_ok);
+  econtract.boolean("perturbed_variance_finite_positive",
+                    ensemble_perturbed_ok);
+  econtract.integer("members_counter_delta", ensemble_members_delta);
+  econtract.integer("members_counter_expected", ensemble_members_expected);
+  econtract.boolean("ok", ensemble_ok);
+  doc.object("ensemble_contract", std::move(econtract));
   bench::JsonObject saturation;
   saturation.integer("submitted", 4);
   saturation.integer("queue_capacity", 2);
@@ -404,6 +567,14 @@ int main(int argc, char** argv) {
                    obs::counter("serve/batched_streams").value());
   counters.integer("serve/snapshots",
                    obs::counter("serve/snapshots").value());
+  counters.integer("serve/ensemble_sessions",
+                   obs::counter("serve/ensemble_sessions").value());
+  counters.integer("serve/ensemble_members",
+                   obs::counter("serve/ensemble_members").value());
+  counters.integer("serve/ensemble_rounds",
+                   obs::counter("serve/ensemble_rounds").value());
+  counters.integer("serve/ensemble_guard_trips",
+                   obs::counter("serve/ensemble_guard_trips").value());
   counters.integer("infer/steady_state_allocs", steady_allocs);
   doc.object("counters", std::move(counters));
   bench::JsonObject gauges;
@@ -413,9 +584,13 @@ int main(int argc, char** argv) {
                 obs::gauge("serve/latency_p50_ms").value());
   gauges.number("serve/latency_p99_ms",
                 obs::gauge("serve/latency_p99_ms").value());
+  gauges.raw("serve/ensemble_energy_rel_spread",
+             bench::json_number(
+                 obs::gauge("serve/ensemble_energy_rel_spread").value(),
+                 "%.3e"));
   doc.object("gauges", std::move(gauges));
   if (!bench::write_bench_json(out_path, "bench_perf_serve", std::move(doc))) {
     return 1;
   }
-  return (bitwise_ok && bf16_ok) ? 0 : 1;
+  return (bitwise_ok && bf16_ok && ensemble_ok) ? 0 : 1;
 }

@@ -11,6 +11,7 @@ metric present in BOTH files is compared:
   * throughput.*                          higher is better
   * levels[].snapshots_per_s              higher is better (keyed by sessions)
   * variants[].stats.snapshots_per_s      higher is better (keyed by isa/precision)
+  * ensembles[].member_snapshots_per_s    higher is better (keyed by ensemble k)
 
 A metric that moved more than TOL_PERCENT (default 10) in the slow direction
 is a regression: the script prints a delta table and exits 1. Metrics that
@@ -35,6 +36,10 @@ def collect(doc):
         v = lvl.get("snapshots_per_s")
         if isinstance(v, (int, float)):
             metrics[f"serve/sessions={lvl.get('sessions')}"] = (float(v), True)
+    for ens in doc.get("ensembles", []):
+        v = ens.get("member_snapshots_per_s")
+        if isinstance(v, (int, float)):
+            metrics[f"serve/ensemble_k={ens.get('k')}"] = (float(v), True)
     for var in doc.get("variants", []):
         stats = var.get("stats")
         if not isinstance(stats, dict):

@@ -26,7 +26,11 @@
 # sequential rollouts at pool widths 1 and 4, that bf16 engine-pool serving
 # stays within the documented rel-L2 bound of fp32, and that an overfilled
 # queue rejects with serve/admission_rejects. Variant rows re-run a 64-session
-# level per forced ISA and per serving precision.
+# level per forced ISA and per serving precision. Ensemble rows serve 16
+# logical sessions at K ∈ {1,2,4,8} members each (member-snapshot throughput
+# plus mean relative spread), and the ensemble reduction contract —
+# identical members → exactly-zero variance, perturbed members → finite
+# positive variance, every member stream accounted — gates the exit code.
 #
 # After the runs, a regression gate (scripts/bench_gate.py) compares the
 # fresh numbers against the BENCH_*.json committed at HEAD and fails with a
@@ -138,6 +142,12 @@ for v in d["variants"]:
     print(f"bench_perf: serve variant isa={v['isa']:<6} "
           f"precision={v['precision']:<4} "
           f"{s['snapshots_per_s']:.0f} snapshots/s at {s['sessions']} sessions")
+assert d["ensemble_contract"]["ok"] is True, "ensemble contract failed"
+for e in d["ensembles"]:
+    print(f"bench_perf: serve ensemble k={e['k']} "
+          f"{e['member_snapshots_per_s']:.0f} member-snapshots/s "
+          f"at {e['sessions']} sessions, "
+          f"mean rel spread {e['mean_rel_spread']:.2e}")
 EOF
 # --- regression gate ---------------------------------------------------------
 # Compare the fresh numbers against the baselines committed at HEAD: a >10%

@@ -36,7 +36,12 @@
 #     documented per-snapshot relative-L2 bound of the fp32 results
 #     (compressed_serving.within_bound) with steady-state allocations still
 #     zero after the bf16 legs, and per-ISA / per-precision variant rows
-#     must be present.
+#     must be present. The ensemble UQ leg is asserted from the same run:
+#     per-K ensemble rows exist, serve/ensemble_members accounted every
+#     fanned-out member stream, identical members reduced to exactly-zero
+#     variance, perturbed members to finite positive variance
+#     (ensemble_contract.ok), and steady-state allocations stayed zero
+#     across the ensemble legs too.
 #  6. A fault-injection smoke: examples/robust_smoke corrupts a checkpoint
 #     (loader must reject it and bump robust/corrupt_rejected), checks the
 #     checkpoint format matrix (TNN3 bf16 round-trip quantized exactly,
@@ -191,6 +196,8 @@ rm -f "$SERVE_JSON" "$SERVE_METRICS"
     --metrics-out "$SERVE_METRICS" > /dev/null
 for name in '"serve/round"' '"serve/batch"' '"serve/admission_rejects"' \
             '"serve/batches"' '"serve/queue_depth"' '"isa/active"' \
+            '"serve/ensemble_sessions"' '"serve/ensemble_members"' \
+            '"serve/ensemble_rounds"' '"serve/ensemble_energy_rel_spread"' \
             '"isa/gemm_dispatch_scalar"' '"isa/fft_dispatch_scalar"'; do
   grep -q "$name" "$SERVE_METRICS" || {
     echo "check_tier1: metric $name missing from $SERVE_METRICS" >&2
@@ -223,6 +230,20 @@ assert 0.0 < cs["worst_snapshot_rel_l2_vs_fp32"] <= cs["bound"], \
 variants = {(v["isa"], v["precision"]) for v in d["variants"]}
 assert ("scalar", "fp32") in variants, "per-ISA variant rows missing"
 assert any(p == "bf16" for _, p in variants), "bf16 variant row missing"
+ks = {row["k"] for row in d["ensembles"]}
+assert {1, 2, 4, 8} <= ks, f"per-K ensemble rows missing (got {ks})"
+for row in d["ensembles"]:
+    assert row["member_snapshots_per_s"] > 0, "ensemble throughput missing"
+ec = d["ensemble_contract"]
+assert ec["identical_members_zero_variance"] is True, \
+    "identical ensemble members did not reduce to exactly-zero variance"
+assert ec["perturbed_variance_finite_positive"] is True, \
+    "perturbed ensemble members lack finite positive variance"
+assert ec["members_counter_delta"] == ec["members_counter_expected"], \
+    "serve/ensemble_members counter did not account every member stream"
+assert ec["ok"] is True, "ensemble contract failed"
+assert d["counters"]["serve/ensemble_members"] >= 4, \
+    "serve/ensemble_members counter missing from the serving bench"
 EOF
 
 # Fault-injection smoke: corrupt checkpoints rejected, divergent rollouts

@@ -1,0 +1,192 @@
+#include "core/ensemble.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "util/rng.hpp"
+
+namespace turb::core {
+
+History perturb_member_seed(const History& seed, std::uint64_t ensemble_seed,
+                            index_t member, double eps) {
+  TURB_CHECK(member >= 0);
+  TURB_CHECK(eps >= 0.0);
+  if (member == 0 || eps == 0.0) return seed;
+  History out;
+  index_t snap_index = 0;
+  for (const FieldSnapshot& snap : seed) {
+    // One generator per (member, snapshot): insertion-order independent and
+    // splittable, so the same member always sees the same perturbation no
+    // matter how the seed was assembled.
+    Rng rng(ensemble_seed +
+            static_cast<std::uint64_t>(member) * 0x9E3779B97F4A7C15ull +
+            static_cast<std::uint64_t>(snap_index) * 0xC2B2AE3D27D4EB4Full);
+    FieldSnapshot p;
+    p.t = snap.t;
+    p.u1 = snap.u1;
+    p.u2 = snap.u2;
+    for (index_t i = 0; i < p.u1.size(); ++i) {
+      p.u1[i] += eps * (2.0 * rng.uniform() - 1.0);
+    }
+    for (index_t i = 0; i < p.u2.size(); ++i) {
+      p.u2[i] += eps * (2.0 * rng.uniform() - 1.0);
+    }
+    out.push_back(std::move(p));
+    ++snap_index;
+  }
+  return out;
+}
+
+RolloutRequest ensemble_member_request(const RolloutRequest& base,
+                                       index_t member) {
+  TURB_CHECK(base.ensemble_k >= 1);
+  TURB_CHECK_MSG(member >= 0 && member < base.ensemble_k,
+                 "member " << member << " out of range for a "
+                           << base.ensemble_k << "-member ensemble");
+  RolloutRequest request = base;
+  request.seed = perturb_member_seed(base.seed, base.ensemble_seed, member,
+                                     base.ensemble_eps);
+  request.ensemble_k = 1;
+  request.ensemble_keep_members = false;
+  // The group-level calibrated guard owns divergence detection; member
+  // streams run unguarded so an untripped member is a pure primary rollout.
+  request.guard = GuardConfig{};
+  return request;
+}
+
+void anchored_mean_spread(const double* values, index_t k, double* mean,
+                          double* spread) {
+  TURB_CHECK(k >= 1);
+  const double anchor = values[0];
+  double dev_sum = 0.0;
+  for (index_t m = 0; m < k; ++m) dev_sum += values[m] - anchor;
+  const double mean_dev = dev_sum / static_cast<double>(k);
+  double var = 0.0;
+  for (index_t m = 0; m < k; ++m) {
+    const double d = (values[m] - anchor) - mean_dev;
+    var += d * d;
+  }
+  *mean = anchor + mean_dev;
+  *spread = std::sqrt(var / static_cast<double>(k));
+}
+
+namespace {
+
+/// Member-0-anchored per-point mean field and pooled variance accumulation
+/// for one component: writes mean into `mean_out`, returns Σ_points Σ_m
+/// (d_m − mean_dev)². Identical members contribute exact zeros.
+double reduce_component(const std::vector<RolloutResult>& members,
+                        std::size_t snap, TensorD FieldSnapshot::*component,
+                        TensorD& mean_out) {
+  const auto k = static_cast<index_t>(members.size());
+  const TensorD& anchor = members[0].trajectory[snap].*component;
+  mean_out = anchor;
+  double var_sum = 0.0;
+  for (index_t i = 0; i < anchor.size(); ++i) {
+    double dev_sum = 0.0;
+    for (index_t m = 1; m < k; ++m) {
+      dev_sum +=
+          (members[static_cast<std::size_t>(m)].trajectory[snap].*component)[i] -
+          anchor[i];
+    }
+    const double mean_dev = dev_sum / static_cast<double>(k);
+    mean_out[i] = anchor[i] + mean_dev;
+    for (index_t m = 0; m < k; ++m) {
+      const double d =
+          ((members[static_cast<std::size_t>(m)].trajectory[snap].*component)[i] -
+           anchor[i]) -
+          mean_dev;
+      var_sum += d * d;
+    }
+  }
+  return var_sum;
+}
+
+}  // namespace
+
+RolloutResult reduce_ensemble_members(std::vector<RolloutResult>&& members,
+                                      std::vector<GuardEvent> guard_events,
+                                      bool keep_members) {
+  const auto k = static_cast<index_t>(members.size());
+  TURB_CHECK(k >= 1);
+  const std::size_t n = members[0].trajectory.size();
+  for (const RolloutResult& m : members) {
+    TURB_CHECK_MSG(m.trajectory.size() == n,
+                   "ensemble members produced " << m.trajectory.size()
+                                                << " vs " << n
+                                                << " snapshots");
+  }
+
+  RolloutResult combined;
+  combined.ensemble_members = k;
+  combined.guard_events = std::move(guard_events);
+  combined.producer = members[0].producer;
+  combined.trajectory.reserve(n);
+  combined.metrics.reserve(n);
+  combined.spread.reserve(n);
+
+  std::vector<double> energies(static_cast<std::size_t>(k));
+  std::vector<double> enstrophies(static_cast<std::size_t>(k));
+  for (std::size_t s = 0; s < n; ++s) {
+    FieldSnapshot mean;
+    mean.t = members[0].trajectory[s].t;
+    double var_sum = reduce_component(members, s, &FieldSnapshot::u1, mean.u1);
+    var_sum += reduce_component(members, s, &FieldSnapshot::u2, mean.u2);
+    const auto points =
+        static_cast<double>(mean.u1.size() + mean.u2.size());
+
+    EnsembleSnapshotSpread row;
+    row.variance = var_sum / (static_cast<double>(k) * points);
+    const double mean_rms =
+        std::sqrt((mean.u1.squared_norm() + mean.u2.squared_norm()) / points);
+    row.rel_spread =
+        mean_rms > 0.0 ? std::sqrt(row.variance) / mean_rms : 0.0;
+    for (index_t m = 0; m < k; ++m) {
+      energies[static_cast<std::size_t>(m)] =
+          members[static_cast<std::size_t>(m)].metrics[s].kinetic_energy;
+      enstrophies[static_cast<std::size_t>(m)] =
+          members[static_cast<std::size_t>(m)].metrics[s].enstrophy;
+    }
+    anchored_mean_spread(energies.data(), k, &row.energy_mean,
+                         &row.energy_spread);
+    anchored_mean_spread(enstrophies.data(), k, &row.enstrophy_mean,
+                         &row.enstrophy_spread);
+    combined.spread.push_back(row);
+    combined.metrics.push_back(compute_metrics(mean));
+    combined.trajectory.push_back(std::move(mean));
+  }
+
+  if (keep_members) combined.member_results = std::move(members);
+  return combined;
+}
+
+SpreadCalibrator::Bands SpreadCalibrator::calibrate(const double* energies,
+                                                    const double* enstrophies,
+                                                    index_t k) {
+  double energy_mean = 0.0, energy_spread = 0.0;
+  double enstrophy_mean = 0.0, enstrophy_spread = 0.0;
+  anchored_mean_spread(energies, k, &energy_mean, &energy_spread);
+  anchored_mean_spread(enstrophies, k, &enstrophy_mean, &enstrophy_spread);
+
+  // Monotone envelope: the widest spread seen so far. A transient consensus
+  // (members momentarily agreeing) must not shrink the band below what the
+  // ensemble has already demonstrated about its own variability.
+  env_energy_ = std::max(env_energy_, energy_spread);
+  env_enstrophy_ = std::max(env_enstrophy_, enstrophy_spread);
+
+  Bands bands;
+  bands.energy_halfwidth =
+      config_.spread_band_factor *
+      std::max(env_energy_, config_.spread_floor_rel * std::abs(energy_mean));
+  bands.enstrophy_halfwidth =
+      config_.spread_band_factor *
+      std::max(env_enstrophy_,
+               config_.spread_floor_rel * std::abs(enstrophy_mean));
+  bands.energy_min = energy_mean - bands.energy_halfwidth;
+  bands.energy_max = energy_mean + bands.energy_halfwidth;
+  bands.enstrophy_max = enstrophy_mean + bands.enstrophy_halfwidth;
+  return bands;
+}
+
+}  // namespace turb::core

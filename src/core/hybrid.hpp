@@ -36,6 +36,16 @@ struct RolloutResult {
   std::vector<std::string> producer;      ///< which propagator made each one
   std::vector<GuardEvent> guard_events;   ///< discarded-window trips, in order
 
+  /// Ensemble UQ (serve::RolloutServer with RolloutRequest::ensemble_k > 1):
+  /// how many member rollouts this result reduces over (1 = plain rollout),
+  /// the per-snapshot spread diagnostics (one entry per trajectory snapshot;
+  /// empty for plain rollouts), and — when the request asked to keep them —
+  /// the individual member results (each bitwise identical to a solo rollout
+  /// of that member's perturbed seed).
+  index_t ensemble_members = 1;
+  std::vector<EnsembleSnapshotSpread> spread;
+  std::vector<RolloutResult> member_results;
+
   [[nodiscard]] index_t guard_trips() const {
     return static_cast<index_t>(guard_events.size());
   }

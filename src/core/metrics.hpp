@@ -17,6 +17,21 @@ struct SnapshotMetrics {
   double divergence_l2 = 0.0;    ///< √⟨(∇·u)²⟩
 };
 
+/// Per-snapshot uncertainty diagnostics of a K-member ensemble rollout — the
+/// trustworthiness signal returned alongside the mean prediction (and the
+/// quantity guard band calibration is derived from). All statistics are
+/// member-0-anchored (core/ensemble.hpp), so identical members yield exact
+/// zeros rather than rounding dust.
+struct EnsembleSnapshotSpread {
+  double variance = 0.0;     ///< grid-mean per-point across-member variance
+                             ///< (u1 and u2 pooled)
+  double rel_spread = 0.0;   ///< √variance / RMS of the mean field
+  double energy_mean = 0.0;      ///< across-member mean kinetic energy
+  double energy_spread = 0.0;    ///< population std of members' energies
+  double enstrophy_mean = 0.0;   ///< across-member mean enstrophy
+  double enstrophy_spread = 0.0; ///< population std of members' enstrophies
+};
+
 /// Diagnostics for one snapshot.
 SnapshotMetrics compute_metrics(const FieldSnapshot& snapshot);
 

@@ -39,6 +39,9 @@ RolloutStream::RolloutStream(RolloutRequest request, Propagator* primary,
   TURB_CHECK(request_.max_history >= primary_->min_history());
   TURB_CHECK_MSG(!request_.guard.enabled || fallback_ != nullptr,
                  "guarded rollout requests need a fallback propagator");
+  TURB_CHECK_MSG(request_.ensemble_k == 1,
+                 "a RolloutStream executes one member; K-member ensembles "
+                 "are fanned out by serve::RolloutServer");
   history_ = request_.seed;
   result_.trajectory.reserve(static_cast<std::size_t>(request_.steps));
 }
@@ -115,6 +118,16 @@ void RolloutStream::advance_fallback_window() {
   obs::counter("robust/fallback_windows").add();
   obs::counter("robust/fallback_snapshots").add(count);
   if (cooldown_left_ > 0) cooldown_left_ -= count;
+}
+
+void RolloutStream::force_degrade(index_t cooldown_snapshots) {
+  TURB_CHECK_MSG(fallback_ != nullptr,
+                 "force_degrade needs a fallback propagator");
+  if (cooldown_snapshots > 0) {
+    cooldown_left_ = cooldown_snapshots;
+  } else {
+    degraded_for_good_ = true;
+  }
 }
 
 void RolloutStream::step() {

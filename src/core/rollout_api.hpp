@@ -49,6 +49,21 @@ struct RolloutRequest {
   /// this one (1 = no preference; capped by ServeConfig::batch_window).
   index_t batch_hint = 1;
   std::string tag;        ///< client label echoed through serving results
+
+  /// Ensemble UQ (serve::RolloutServer): fan this request out into
+  /// `ensemble_k` member streams — member 0 runs the seed unchanged, member
+  /// m >= 1 runs a deterministically perturbed copy (core/ensemble.hpp) —
+  /// micro-batched together through the shared engine and reduced into one
+  /// mean-prediction result with per-snapshot spread. 1 = plain rollout.
+  index_t ensemble_k = 1;
+  /// Additive seed-perturbation amplitude for members >= 1 (0 = identical
+  /// members; the reduction then returns exactly zero variance).
+  double ensemble_eps = 1e-3;
+  /// Base RNG seed the member perturbations derive from.
+  std::uint64_t ensemble_seed = 0x5eedu;
+  /// Keep the individual member results inside RolloutResult::member_results
+  /// (each bitwise identical to a solo rollout of that member's request).
+  bool ensemble_keep_members = false;
 };
 
 /// Incremental executor for one request: the scheduler-facing state machine
@@ -81,6 +96,13 @@ class RolloutStream {
 
   /// Produce one window from the fallback propagator (cool-down / degraded).
   void advance_fallback_window();
+
+  /// Externally-decided degradation (serve::EnsembleSession: a group-level
+  /// spread-calibrated guard trips on one member and hands the whole group
+  /// to the fallback). cooldown_snapshots > 0 arms a cool-down; 0 degrades
+  /// for the remainder, mirroring the per-stream guard policy. Requires a
+  /// fallback propagator.
+  void force_degrade(index_t cooldown_snapshots);
 
   /// Advance one window through whichever side is due, driving the
   /// propagators directly. run_rollout() is a loop over this.

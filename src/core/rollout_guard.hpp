@@ -42,6 +42,18 @@ struct GuardConfig {
   /// PDE snapshots produced after a trip before the FNO gets another turn;
   /// 0 falls back to the scheduler's pde_snapshots window length.
   index_t cooldown_snapshots = 0;
+
+  /// Ensemble-spread calibration (serve::EnsembleSession, K >= 2): when set,
+  /// the energy/enstrophy bands above are re-derived every snapshot from the
+  /// rolling across-member spread envelope —
+  ///   band = mean ± spread_band_factor · max(spread_envelope,
+  ///                                          spread_floor_rel · |mean|)
+  /// — so a trip means "this member left the ensemble consensus", not "this
+  /// member left a hand-tuned box". The fixed limits above remain the
+  /// fallback whenever no spread signal exists (K = 1, or calibration off).
+  bool spread_calibrated = false;
+  double spread_band_factor = 8.0;  ///< band half-width in spread units
+  double spread_floor_rel = 1e-4;   ///< relative floor under the envelope
 };
 
 /// One recorded trip: where in the trajectory the discarded FNO window would
@@ -72,7 +84,8 @@ struct GuardStats {
 class RolloutGuard {
  public:
   RolloutGuard() = default;  ///< disabled guard (config.enabled = false)
-  explicit RolloutGuard(const GuardConfig& config) : config_(config) {}
+  explicit RolloutGuard(const GuardConfig& config)
+      : config_(config), base_config_(config) {}
 
   /// Verdict for one produced snapshot; `metrics` are the diagnostics the
   /// scheduler already computes per snapshot. When tripped and
@@ -82,14 +95,32 @@ class RolloutGuard {
                                 const SnapshotMetrics& metrics,
                                 double* offending_value = nullptr);
 
-  /// Clear the accumulated band statistics (config is preserved).
-  void reset() { stats_ = GuardStats{}; }
+  /// Spread-calibration write-through (serve::EnsembleSession): replace the
+  /// energy band / enstrophy ceiling for the next check() calls. reset()
+  /// restores the as-constructed limits.
+  void set_energy_band(double energy_min, double energy_max) {
+    config_.energy_min = energy_min;
+    config_.energy_max = energy_max;
+  }
+  void set_enstrophy_max(double enstrophy_max) {
+    config_.enstrophy_max = enstrophy_max;
+  }
+
+  /// Clear the accumulated band statistics AND restore the as-constructed
+  /// config: a reused session must start from the configured fixed bands,
+  /// not the previous stream's calibrated (possibly razor-thin) envelope —
+  /// otherwise a healthy first window can trip on stale state.
+  void reset() {
+    stats_ = GuardStats{};
+    config_ = base_config_;
+  }
 
   [[nodiscard]] const GuardConfig& config() const { return config_; }
   [[nodiscard]] const GuardStats& stats() const { return stats_; }
 
  private:
   GuardConfig config_;
+  GuardConfig base_config_;  ///< as constructed; reset() restores it
   GuardStats stats_;
 };
 

@@ -17,6 +17,7 @@
 
 #include "analysis/lyapunov.hpp"
 #include "analysis/stats.hpp"
+#include "core/ensemble.hpp"
 #include "core/fno_propagator.hpp"
 #include "core/hybrid.hpp"
 #include "core/metrics.hpp"

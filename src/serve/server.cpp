@@ -9,18 +9,17 @@
 
 namespace turb::serve {
 
-namespace {
-
-/// Nearest-rank percentile over an ascending-sorted sample.
-double percentile(const std::vector<double>& sorted, double p) {
+double nearest_rank_percentile(const std::vector<double>& sorted, double p) {
   if (sorted.empty()) return 0.0;
+  // Clamp before the size_t cast: ceil of a negative p·n would be cast from
+  // a negative double to an unsigned rank (undefined behaviour), and p > 1
+  // would index past the end were it not re-clamped below.
+  p = std::min(std::max(p, 0.0), 1.0);
   const auto n = static_cast<double>(sorted.size());
   auto rank = static_cast<std::size_t>(std::ceil(p * n));
   rank = std::min(std::max<std::size_t>(rank, 1), sorted.size());
   return sorted[rank - 1];
 }
-
-}  // namespace
 
 ServeConfig ServeConfig::from_runtime() {
   const ServeRuntimeOptions& opts = serve_runtime_options();
@@ -28,6 +27,7 @@ ServeConfig ServeConfig::from_runtime() {
   cfg.max_sessions = opts.max_sessions;
   cfg.queue_capacity = opts.queue_capacity;
   cfg.batch_window = opts.batch_window;
+  cfg.ensemble_k = opts.ensemble_k;
   cfg.precision = util::parse_precision(opts.precision);
   return cfg;
 }
@@ -80,6 +80,17 @@ Admission RolloutServer::admit_locked(core::RolloutRequest&& request,
   if (request.guard.enabled && fallback == nullptr) {
     return reject_locked("guarded request without a fallback propagator");
   }
+  if (request.ensemble_k < 1) {
+    return reject_locked("request.ensemble_k must be >= 1");
+  }
+  if (request.ensemble_k > 1 && solo) {
+    return reject_locked(
+        "ensemble sessions require the shared server primary "
+        "(submit, not submit_with_propagator)");
+  }
+  if (request.ensemble_eps < 0.0) {
+    return reject_locked("request.ensemble_eps must be >= 0");
+  }
 
   Session session;
   session.id = next_id_++;
@@ -87,8 +98,13 @@ Admission RolloutServer::admit_locked(core::RolloutRequest&& request,
   session.solo = solo;
   session.state = SessionState::queued;
   session.admitted_at = std::chrono::steady_clock::now();
-  session.stream = std::make_unique<core::RolloutStream>(std::move(request),
+  if (request.ensemble_k > 1) {
+    session.ensemble = std::make_unique<EnsembleSession>(std::move(request),
                                                          primary, fallback);
+  } else {
+    session.stream = std::make_unique<core::RolloutStream>(std::move(request),
+                                                           primary, fallback);
+  }
   const SessionId id = session.id;
   pending_.push_back(id);
   sessions_.emplace(id, std::move(session));
@@ -127,28 +143,54 @@ bool RolloutServer::step() {
 
   // Partition the active set: ready server-primary streams micro-batch per
   // grid bucket; solo and degraded streams advance one window on their own
-  // propagators. Admission order is preserved everywhere, so the schedule —
-  // and the engine-pool bucket sequence — is deterministic.
-  std::map<std::pair<index_t, index_t>, std::vector<core::RolloutStream*>>
-      ready;
+  // propagators. An ensemble session contributes each member stream as an
+  // ordinary batchable entry (windows staged with the group instead of
+  // accepted directly); a degraded group sends every member down the alone
+  // path together. Admission order is preserved everywhere, so the schedule
+  // — and the engine-pool bucket sequence — is deterministic.
+  struct ReadyEntry {
+    core::RolloutStream* stream;
+    EnsembleSession* group;  ///< null for plain sessions
+    index_t member;
+  };
+  std::map<std::pair<index_t, index_t>, std::vector<ReadyEntry>> ready;
   std::vector<core::RolloutStream*> alone;
+  std::vector<EnsembleSession*> staged_groups;
   for (const SessionId id : active_) {
-    core::RolloutStream* stream = sessions_.at(id).stream.get();
+    Session& session = sessions_.at(id);
+    if (session.ensemble) {
+      EnsembleSession* group = session.ensemble.get();
+      if (group->done()) continue;
+      if (group->degraded()) {
+        for (index_t m = 0; m < group->members(); ++m) {
+          alone.push_back(&group->member(m));
+        }
+        continue;
+      }
+      staged_groups.push_back(group);
+      for (index_t m = 0; m < group->members(); ++m) {
+        core::RolloutStream* stream = &group->member(m);
+        const TensorD& field = stream->history().back().u1;
+        ready[{field.dim(0), field.dim(1)}].push_back({stream, group, m});
+      }
+      continue;
+    }
+    core::RolloutStream* stream = session.stream.get();
     if (stream->done()) continue;
-    if (sessions_.at(id).solo || stream->degraded()) {
+    if (session.solo || stream->degraded()) {
       alone.push_back(stream);
       continue;
     }
     const TensorD& field = stream->history().back().u1;
-    ready[{field.dim(0), field.dim(1)}].push_back(stream);
+    ready[{field.dim(0), field.dim(1)}].push_back({stream, nullptr, 0});
   }
 
   const index_t cin = primary_->model().config().in_channels;
-  for (auto& [grid, streams] : ready) {
-    for (std::size_t base = 0; base < streams.size();
+  for (auto& [grid, entries] : ready) {
+    for (std::size_t base = 0; base < entries.size();
          base += static_cast<std::size_t>(config_.batch_window)) {
       const auto k = static_cast<index_t>(
-          std::min(streams.size() - base,
+          std::min(entries.size() - base,
                    static_cast<std::size_t>(config_.batch_window)));
       std::vector<const core::History*> histories(
           static_cast<std::size_t>(k));
@@ -159,7 +201,7 @@ bool RolloutServer::step() {
           static_cast<std::size_t>(k));
       index_t snapshots = 0;
       for (index_t i = 0; i < k; ++i) {
-        core::RolloutStream* stream = streams[base + i];
+        core::RolloutStream* stream = entries[base + i].stream;
         histories[i] = &stream->history();
         counts[i] = stream->next_window();
         outs[i] = &windows[i];
@@ -179,7 +221,13 @@ bool RolloutServer::step() {
       obs::counter("serve/snapshots").add(snapshots);
       obs::gauge("serve/batch_occupancy").set(static_cast<double>(k));
       for (index_t i = 0; i < k; ++i) {
-        streams[base + i]->accept_primary_window(std::move(windows[i]));
+        const ReadyEntry& entry = entries[base + i];
+        if (entry.group != nullptr) {
+          // Ensemble members are judged together once the whole round is in.
+          entry.group->stage_window(entry.member, std::move(windows[i]));
+        } else {
+          entry.stream->accept_primary_window(std::move(windows[i]));
+        }
       }
     }
   }
@@ -190,13 +238,19 @@ bool RolloutServer::step() {
     obs::counter("serve/snapshots").add(count);
   }
 
+  // All batches of this round are in: commit each staged ensemble round
+  // (spread-calibrated guard check, then accept-all or degrade-all).
+  for (EnsembleSession* group : staged_groups) {
+    if (group->round_pending()) group->commit_round();
+  }
+
   // Retire finished sessions, keeping the active set in admission order.
   const auto now = std::chrono::steady_clock::now();
   std::vector<SessionId> still_active;
   still_active.reserve(active_.size());
   for (const SessionId id : active_) {
     Session& session = sessions_.at(id);
-    if (!session.stream->done()) {
+    if (!session.done()) {
       still_active.push_back(id);
       continue;
     }
@@ -225,8 +279,8 @@ void RolloutServer::update_gauges_locked() {
   if (!completed_latencies_.empty()) {
     std::vector<double> sorted = completed_latencies_;
     std::sort(sorted.begin(), sorted.end());
-    obs::gauge("serve/latency_p50_ms").set(percentile(sorted, 0.50) * 1e3);
-    obs::gauge("serve/latency_p99_ms").set(percentile(sorted, 0.99) * 1e3);
+    obs::gauge("serve/latency_p50_ms").set(nearest_rank_percentile(sorted, 0.50) * 1e3);
+    obs::gauge("serve/latency_p99_ms").set(nearest_rank_percentile(sorted, 0.99) * 1e3);
   }
 }
 
@@ -245,7 +299,9 @@ core::RolloutResult RolloutServer::take(SessionId id) {
   TURB_CHECK_MSG(it != sessions_.end(), "unknown session id " << id);
   TURB_CHECK_MSG(it->second.state == SessionState::finished,
                  "session " << id << " has not finished");
-  core::RolloutResult result = it->second.stream->take_result();
+  core::RolloutResult result = it->second.ensemble
+                                   ? it->second.ensemble->take_result()
+                                   : it->second.stream->take_result();
   sessions_.erase(it);
   return result;
 }
@@ -255,10 +311,18 @@ SessionSnapshot RolloutServer::snapshot_locked(const Session& s) const {
   snap.id = s.id;
   snap.tag = s.tag;
   snap.state = s.state;
-  snap.produced = s.stream->produced();
-  snap.steps = s.stream->request().steps;
-  snap.degraded = s.stream->degraded();
-  snap.guard_trips = s.stream->result().guard_trips();
+  if (s.ensemble) {
+    snap.produced = s.ensemble->produced();
+    snap.steps = s.ensemble->member(0).request().steps;
+    snap.degraded = s.ensemble->degraded();
+    snap.guard_trips = s.ensemble->guard_trips();
+    snap.ensemble_members = s.ensemble->members();
+  } else {
+    snap.produced = s.stream->produced();
+    snap.steps = s.stream->request().steps;
+    snap.degraded = s.stream->degraded();
+    snap.guard_trips = s.stream->result().guard_trips();
+  }
   snap.latency_seconds = s.latency_seconds;
   return snap;
 }
@@ -297,8 +361,8 @@ RolloutServer::LatencyStats RolloutServer::latency_stats() const {
   if (completed_latencies_.empty()) return stats;
   std::vector<double> sorted = completed_latencies_;
   std::sort(sorted.begin(), sorted.end());
-  stats.p50_ms = percentile(sorted, 0.50) * 1e3;
-  stats.p99_ms = percentile(sorted, 0.99) * 1e3;
+  stats.p50_ms = nearest_rank_percentile(sorted, 0.50) * 1e3;
+  stats.p99_ms = nearest_rank_percentile(sorted, 0.99) * 1e3;
   stats.max_ms = sorted.back() * 1e3;
   return stats;
 }

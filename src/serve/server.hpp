@@ -24,6 +24,11 @@
 //     leaves the micro-batch and finishes on the fallback propagator
 //     (PDE physics) alone while its former batchmates keep batching,
 //     unperturbed.
+//   * Ensemble UQ — a request with ensemble_k = K >= 2 fans into K member
+//     streams (ensemble_session.hpp) that ride the same micro-batch path;
+//     their windows are staged and judged together per round (optionally
+//     against spread-calibrated guard bands) and the finished members reduce
+//     to one mean prediction with per-snapshot variance.
 //
 // step()/drain() run the compute on the caller's thread; submit() and the
 // introspection calls are safe from other threads (one mutex guards the
@@ -41,6 +46,7 @@
 #include "core/fno_propagator.hpp"
 #include "core/rollout_api.hpp"
 #include "serve/engine_pool.hpp"
+#include "serve/ensemble_session.hpp"
 #include "util/precision.hpp"
 
 namespace turb::serve {
@@ -49,14 +55,28 @@ struct ServeConfig {
   index_t max_sessions = 256;     ///< sessions advanced concurrently
   index_t queue_capacity = 1024;  ///< admitted-but-not-active bound
   index_t batch_window = 16;      ///< max streams per micro-batched forward
+  /// Ensemble members per logical session drivers should request
+  /// (RolloutRequest::ensemble_k): 1 = plain rollouts; K >= 2 fans each
+  /// session into K member streams reduced to mean + per-snapshot spread.
+  /// Advisory for request construction — submit() honours the request field.
+  index_t ensemble_k = 1;
   /// Weight precision for every pooled engine (fp32 = bitwise-vs-training;
   /// bf16/fp16 = error-bounded, see DESIGN.md "Precision tiers").
   util::Precision precision = util::Precision::kFp32;
   /// Populated from the --serve-max-sessions / --serve-queue-cap /
-  /// --serve-batch-window / --serve-precision runtime flags (util/cli.hpp;
-  /// the precision spec string is parsed — and validated — here).
+  /// --serve-batch-window / --serve-ensemble-k / --serve-precision runtime
+  /// flags (util/cli.hpp; the precision spec string is parsed — and
+  /// validated — here).
   static ServeConfig from_runtime();
 };
+
+/// Nearest-rank percentile over an ascending-sorted sample. Total over its
+/// whole domain: an empty sample yields 0, a single-element sample yields
+/// that element for every p, and p is clamped into [0, 1] (p <= 0 → first
+/// element, p >= 1 → last) so out-of-range probabilities cannot underflow
+/// the rank computation.
+[[nodiscard]] double nearest_rank_percentile(const std::vector<double>& sorted,
+                                             double p);
 
 using SessionId = std::int64_t;
 
@@ -78,6 +98,7 @@ struct SessionSnapshot {
   index_t steps = 0;             ///< requested horizon
   bool degraded = false;         ///< currently on the fallback propagator
   index_t guard_trips = 0;
+  index_t ensemble_members = 1;  ///< 1 = plain session, K >= 2 = ensemble
   double latency_seconds = 0.0;  ///< admission → completion (0 until done)
 };
 
@@ -98,6 +119,9 @@ class RolloutServer {
   /// Admit a session for the shared FNO primary (micro-batched). Rejects —
   /// never throws — on a saturated queue or an invalid request, bumping
   /// serve/admission_rejects and explaining why in Admission::reason.
+  /// A request with ensemble_k = K >= 2 fans out into K member streams
+  /// (ensemble_session.hpp) co-batched like K sessions and reduced into one
+  /// mean + spread result at take().
   Admission submit(core::RolloutRequest request);
 
   /// Admit a session driven by its own propagator pair (fault injection,
@@ -147,11 +171,16 @@ class RolloutServer {
   struct Session {
     SessionId id = -1;
     std::string tag;
-    std::unique_ptr<core::RolloutStream> stream;
+    std::unique_ptr<core::RolloutStream> stream;  ///< plain (null if ensemble)
+    std::unique_ptr<EnsembleSession> ensemble;    ///< K >= 2 fan-out
     bool solo = false;  ///< own propagator — never co-batched
     SessionState state = SessionState::queued;
     std::chrono::steady_clock::time_point admitted_at;
     double latency_seconds = 0.0;
+
+    [[nodiscard]] bool done() const {
+      return ensemble ? ensemble->done() : stream->done();
+    }
   };
 
   Admission admit_locked(core::RolloutRequest&& request,

@@ -86,6 +86,7 @@ void apply_runtime_flags(const CliArgs& args) {
   serve_knob("serve-max-sessions", &g_serve_options.max_sessions);
   serve_knob("serve-queue-cap", &g_serve_options.queue_capacity);
   serve_knob("serve-batch-window", &g_serve_options.batch_window);
+  serve_knob("serve-ensemble-k", &g_serve_options.ensemble_k);
 
   // Precision: flag wins, TURBFNO_PRECISION env is the fallback. Validation
   // (the fp32|bf16|fp16 vocabulary) happens at parse time in ServeConfig so

@@ -42,6 +42,9 @@ struct ServeRuntimeOptions {
   long max_sessions = 256;     ///< --serve-max-sessions
   long queue_capacity = 1024;  ///< --serve-queue-cap
   long batch_window = 16;      ///< --serve-batch-window
+  /// --serve-ensemble-k: members per logical session drivers should request
+  /// (1 = plain rollouts, K >= 2 = ensemble UQ fan-out with mean + spread).
+  long ensemble_k = 1;
   /// --serve-precision fp32|bf16|fp16 (TURBFNO_PRECISION env as fallback):
   /// weight precision for every pooled serving engine. Stored as the spec
   /// string so util/cli.hpp stays free of the precision header; ServeConfig
@@ -63,6 +66,8 @@ struct ServeRuntimeOptions {
 ///   --serve-max-sessions N  serving: concurrently active session bound
 ///   --serve-queue-cap N     serving: pending-queue admission bound
 ///   --serve-batch-window N  serving: max streams per micro-batched forward
+///   --serve-ensemble-k K    serving: ensemble members per logical session
+///                           (1 = plain rollouts)
 ///   --serve-precision P     serving: engine weight precision
 ///                           (fp32 | bf16 | fp16; TURBFNO_PRECISION env is
 ///                           the fallback when the flag is absent)

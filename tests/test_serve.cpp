@@ -573,5 +573,223 @@ TEST_F(ServeFixture, Bf16ServingWithinBoundAndDeterministic) {
   }
 }
 
+// --- percentile edge cases ------------------------------------------------
+
+TEST(NearestRankPercentile, EmptySingleBoundariesAndClamping) {
+  const std::vector<double> empty;
+  EXPECT_EQ(serve::nearest_rank_percentile(empty, 0.5), 0.0);
+  EXPECT_EQ(serve::nearest_rank_percentile(empty, 0.0), 0.0);
+  EXPECT_EQ(serve::nearest_rank_percentile(empty, 1.0), 0.0);
+
+  const std::vector<double> one = {42.0};
+  EXPECT_EQ(serve::nearest_rank_percentile(one, 0.0), 42.0);
+  EXPECT_EQ(serve::nearest_rank_percentile(one, 0.5), 42.0);
+  EXPECT_EQ(serve::nearest_rank_percentile(one, 1.0), 42.0);
+
+  const std::vector<double> sorted = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_EQ(serve::nearest_rank_percentile(sorted, 0.0), 1.0);
+  EXPECT_EQ(serve::nearest_rank_percentile(sorted, 0.25), 1.0);
+  EXPECT_EQ(serve::nearest_rank_percentile(sorted, 0.5), 2.0);
+  EXPECT_EQ(serve::nearest_rank_percentile(sorted, 0.75), 3.0);
+  EXPECT_EQ(serve::nearest_rank_percentile(sorted, 0.99), 4.0);
+  EXPECT_EQ(serve::nearest_rank_percentile(sorted, 1.0), 4.0);
+  // Out-of-range probabilities clamp instead of underflowing the rank.
+  EXPECT_EQ(serve::nearest_rank_percentile(sorted, -0.5), 1.0);
+  EXPECT_EQ(serve::nearest_rank_percentile(sorted, 1.5), 4.0);
+}
+
+// --- ensemble UQ serving --------------------------------------------------
+
+void expect_spread_bitwise_equal(const core::RolloutResult& a,
+                                 const core::RolloutResult& b) {
+  ASSERT_EQ(a.spread.size(), b.spread.size());
+  for (std::size_t k = 0; k < a.spread.size(); ++k) {
+    EXPECT_EQ(a.spread[k].variance, b.spread[k].variance) << "snapshot " << k;
+    EXPECT_EQ(a.spread[k].rel_spread, b.spread[k].rel_spread);
+    EXPECT_EQ(a.spread[k].energy_mean, b.spread[k].energy_mean);
+    EXPECT_EQ(a.spread[k].energy_spread, b.spread[k].energy_spread);
+    EXPECT_EQ(a.spread[k].enstrophy_mean, b.spread[k].enstrophy_mean);
+    EXPECT_EQ(a.spread[k].enstrophy_spread, b.spread[k].enstrophy_spread);
+  }
+}
+
+class EnsembleServeFixture : public ServeFixture {
+ protected:
+  core::RolloutRequest ensemble_request(std::uint64_t seed, index_t steps,
+                                        index_t k, double eps) {
+    core::RolloutRequest request = request_for(seed, steps);
+    request.ensemble_k = k;
+    request.ensemble_eps = eps;
+    request.ensemble_seed = 0xabcd + seed;
+    return request;
+  }
+
+  core::RolloutResult serve_one(core::RolloutRequest request) {
+    serve::RolloutServer server(fno_prop_, &pde_prop_, serve::ServeConfig{});
+    const serve::Admission a = server.submit(std::move(request));
+    EXPECT_TRUE(a.admitted) << a.reason;
+    server.drain();
+    return server.take(a.id);
+  }
+};
+
+TEST_F(EnsembleServeFixture, KOneIsAPlainSessionBitwise) {
+  const index_t steps = 12;
+  const core::RolloutResult solo =
+      core::run_rollout(fno_prop_, request_for(601, steps));
+  const core::RolloutResult served =
+      serve_one(ensemble_request(601, steps, /*k=*/1, /*eps=*/1e-3));
+  expect_bitwise_equal(solo, served);
+  EXPECT_EQ(served.ensemble_members, 1);
+  EXPECT_TRUE(served.spread.empty());
+  EXPECT_TRUE(served.member_results.empty());
+}
+
+TEST_F(EnsembleServeFixture, MembersBitwiseMatchSoloRolloutsAtThreads1And4) {
+  const index_t steps = 20;  // two scheduling windows per member
+  const index_t k = 3;
+
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    ThreadPool::Scope scope(threads);
+
+    core::RolloutRequest base = ensemble_request(607, steps, k, 1e-3);
+    base.ensemble_keep_members = true;
+
+    // Each ensemble member must be bitwise identical to a solo rollout of
+    // that member's derived request — the determinism contract that makes
+    // the ensemble exactly K co-batched sessions, not an approximation.
+    std::vector<core::RolloutResult> solos;
+    for (index_t m = 0; m < k; ++m) {
+      solos.push_back(core::run_rollout(
+          fno_prop_, core::ensemble_member_request(base, m)));
+    }
+
+    const core::RolloutResult served = serve_one(std::move(base));
+    EXPECT_EQ(served.ensemble_members, k);
+    ASSERT_EQ(served.member_results.size(), static_cast<std::size_t>(k));
+    for (index_t m = 0; m < k; ++m) {
+      expect_bitwise_equal(solos[static_cast<std::size_t>(m)],
+                           served.member_results[static_cast<std::size_t>(m)]);
+    }
+    ASSERT_EQ(served.spread.size(), static_cast<std::size_t>(steps));
+    for (const auto& row : served.spread) {
+      EXPECT_TRUE(std::isfinite(row.variance));
+      EXPECT_GT(row.variance, 0.0);  // perturbed members genuinely differ
+      EXPECT_GT(row.energy_spread, 0.0);
+    }
+  }
+}
+
+TEST_F(EnsembleServeFixture, IdenticalMembersReduceToExactlyZeroVariance) {
+  const index_t steps = 12;
+  const core::RolloutResult solo =
+      core::run_rollout(fno_prop_, request_for(613, steps));
+
+  // eps = 0: all four members run the identical seed, so the anchored
+  // reduction must return a mean bitwise equal to member 0 and variance
+  // exactly 0.0 — not merely small — at every snapshot.
+  const core::RolloutResult served =
+      serve_one(ensemble_request(613, steps, /*k=*/4, /*eps=*/0.0));
+  EXPECT_EQ(served.ensemble_members, 4);
+  expect_bitwise_equal(solo, served);
+  ASSERT_EQ(served.spread.size(), static_cast<std::size_t>(steps));
+  for (const auto& row : served.spread) {
+    EXPECT_EQ(row.variance, 0.0);
+    EXPECT_EQ(row.rel_spread, 0.0);
+    EXPECT_EQ(row.energy_spread, 0.0);
+    EXPECT_EQ(row.enstrophy_spread, 0.0);
+  }
+}
+
+TEST_F(EnsembleServeFixture, SpreadCalibratedResultsReproduceAcrossServers) {
+  const index_t steps = 20;
+  const auto make_request = [this] {
+    core::RolloutRequest request = ensemble_request(617, 20, /*k=*/4, 1e-3);
+    request.guard.enabled = true;
+    request.guard.spread_calibrated = true;
+    request.guard.spread_band_factor = 1e6;  // wide: judged but never tripped
+    return request;
+  };
+
+  const core::RolloutResult first = serve_one(make_request());
+  const core::RolloutResult second = serve_one(make_request());
+  ASSERT_EQ(first.trajectory.size(), static_cast<std::size_t>(steps));
+  EXPECT_EQ(first.guard_trips(), 0);
+  expect_bitwise_equal(first, second);
+  expect_spread_bitwise_equal(first, second);
+}
+
+TEST_F(EnsembleServeFixture, ZeroWidthCalibratedBandDegradesWholeGroup) {
+  const index_t steps = 12;
+  core::RolloutRequest request = ensemble_request(619, steps, /*k=*/2, 1e-3);
+  request.guard.enabled = true;
+  request.guard.spread_calibrated = true;
+  request.guard.spread_band_factor = 0.0;  // band = mean ± 0: trips round 1
+  request.guard.spread_floor_rel = 0.0;
+  request.guard.cooldown_snapshots = 0;  // degrade for the remainder
+
+  const std::int64_t trips_before =
+      obs::counter("serve/ensemble_guard_trips").value();
+  const core::RolloutResult served = serve_one(std::move(request));
+  EXPECT_EQ(obs::counter("serve/ensemble_guard_trips").value(),
+            trips_before + 1);
+  ASSERT_EQ(served.trajectory.size(), static_cast<std::size_t>(steps));
+  EXPECT_TRUE(all_finite(served));
+  EXPECT_GE(served.guard_trips(), 1);
+  // The whole group fell back together: the reduced trajectory is a mean of
+  // PDE member rollouts, never a mix of FNO and PDE members.
+  for (const std::string& producer : served.producer) {
+    EXPECT_EQ(producer, "pde_fallback");
+  }
+}
+
+TEST_F(EnsembleServeFixture, CountersSnapshotsAndBatchingAccountMembers) {
+  const index_t k = 4;
+  const std::int64_t sessions_before =
+      obs::counter("serve/ensemble_sessions").value();
+  const std::int64_t members_before =
+      obs::counter("serve/ensemble_members").value();
+
+  serve::RolloutServer server(fno_prop_, &pde_prop_, serve::ServeConfig{});
+  const serve::Admission a =
+      server.submit(ensemble_request(631, 12, k, 1e-3));
+  ASSERT_TRUE(a.admitted) << a.reason;
+  EXPECT_EQ(obs::counter("serve/ensemble_sessions").value(),
+            sessions_before + 1);
+  EXPECT_EQ(obs::counter("serve/ensemble_members").value(),
+            members_before + k);
+
+  const serve::SessionSnapshot queued = server.snapshot(a.id);
+  EXPECT_EQ(queued.ensemble_members, k);
+  server.drain();
+  EXPECT_EQ(server.snapshot(a.id).produced, 12);
+  // The K member streams co-batch through the shared engine.
+  EXPECT_GT(server.mean_batch_occupancy(), 1.0);
+  (void)server.take(a.id);
+}
+
+TEST_F(EnsembleServeFixture, InvalidEnsembleRequestsRejectWithReason) {
+  serve::RolloutServer server(fno_prop_, &pde_prop_, serve::ServeConfig{});
+
+  core::RolloutRequest zero_k = ensemble_request(641, 8, 1, 1e-3);
+  zero_k.ensemble_k = 0;
+  const serve::Admission bad_k = server.submit(std::move(zero_k));
+  EXPECT_FALSE(bad_k.admitted);
+  EXPECT_NE(bad_k.reason.find("ensemble_k"), std::string::npos)
+      << bad_k.reason;
+
+  core::RolloutRequest negative_eps = ensemble_request(643, 8, 2, 1e-3);
+  negative_eps.ensemble_eps = -1.0;
+  EXPECT_FALSE(server.submit(std::move(negative_eps)).admitted);
+
+  // Ensembles ride the shared-primary micro-batch path; a solo-propagator
+  // ensemble has no group scheduler and must be rejected, not mis-served.
+  const serve::Admission solo = server.submit_with_propagator(
+      ensemble_request(647, 8, 2, 1e-3), fno_prop_, &pde_prop_);
+  EXPECT_FALSE(solo.admitted);
+  EXPECT_NE(solo.reason.find("shared server primary"), std::string::npos)
+      << solo.reason;
+}
+
 }  // namespace
 }  // namespace turb
