@@ -169,11 +169,21 @@ SpreadCalibrator::Bands SpreadCalibrator::calibrate(const double* energies,
   anchored_mean_spread(energies, k, &energy_mean, &energy_spread);
   anchored_mean_spread(enstrophies, k, &enstrophy_mean, &enstrophy_spread);
 
-  // Monotone envelope: the widest spread seen so far. A transient consensus
-  // (members momentarily agreeing) must not shrink the band below what the
-  // ensemble has already demonstrated about its own variability.
-  env_energy_ = std::max(env_energy_, energy_spread);
-  env_enstrophy_ = std::max(env_enstrophy_, enstrophy_spread);
+  // Monotone envelope: the widest spread of any *accepted* snapshot so far.
+  // A transient consensus must not shrink the band below the variability
+  // the ensemble has already demonstrated — but the current snapshot's
+  // spread is only staged (check-then-update): a diverging member widening
+  // its own band in proportion to its divergence could never trip.
+  if (!seeded_) {
+    // Snapshot 0 seeds the baseline: it carries the deliberate member
+    // perturbation, and no divergence verdict exists without a baseline.
+    env_energy_ = std::max(env_energy_, energy_spread);
+    env_enstrophy_ = std::max(env_enstrophy_, enstrophy_spread);
+    seeded_ = true;
+  } else {
+    staged_energy_ = std::max(staged_energy_, energy_spread);
+    staged_enstrophy_ = std::max(staged_enstrophy_, enstrophy_spread);
+  }
 
   Bands bands;
   bands.energy_halfwidth =
@@ -187,6 +197,18 @@ SpreadCalibrator::Bands SpreadCalibrator::calibrate(const double* energies,
   bands.energy_max = energy_mean + bands.energy_halfwidth;
   bands.enstrophy_max = enstrophy_mean + bands.enstrophy_halfwidth;
   return bands;
+}
+
+void SpreadCalibrator::commit_round() {
+  env_energy_ = std::max(env_energy_, staged_energy_);
+  env_enstrophy_ = std::max(env_enstrophy_, staged_enstrophy_);
+  staged_energy_ = 0.0;
+  staged_enstrophy_ = 0.0;
+}
+
+void SpreadCalibrator::discard_round() {
+  staged_energy_ = 0.0;
+  staged_enstrophy_ = 0.0;
 }
 
 }  // namespace turb::core

@@ -62,6 +62,25 @@ void anchored_mean_spread(const double* values, index_t k, double* mean,
 /// (GuardConfig::spread_calibrated). Purely a function of the member metric
 /// sequences fed to it, so calibrated bands reproduce bit-for-bit across
 /// runs of the same ensemble.
+///
+/// Check-then-update: a snapshot is judged against the envelope as it stood
+/// BEFORE that snapshot — its own spread is only *staged*, and folds into
+/// the committed envelope when the round is accepted (commit_round). The
+/// two rules this enforces:
+///
+///   * A diverging member must not widen the very band it is judged
+///     against. If the current spread entered the envelope first, the max
+///     member deviation (bounded by spread·√(K−1)) could never exceed
+///     spread_band_factor · spread for any factor ≥ √(K−1), and the
+///     consensus guard would be mathematically unable to trip.
+///   * A discarded round must not poison future bands. Spread observed in
+///     windows the guard rejected is exactly the divergence the envelope
+///     exists to detect; only accepted rounds calibrate.
+///
+/// The very first calibrate() call seeds the committed envelope instead of
+/// judging against an empty one: snapshot 0 reflects the deliberate member
+/// perturbation (the ensemble's demonstrated initial variability), and no
+/// divergence verdict is possible before a baseline exists.
 class SpreadCalibrator {
  public:
   explicit SpreadCalibrator(const GuardConfig& config) : config_(config) {}
@@ -75,13 +94,21 @@ class SpreadCalibrator {
     double enstrophy_halfwidth = 0.0;
   };
 
-  /// Account the K members' energies/enstrophies for one snapshot: updates
-  /// the rolling (monotone) spread envelope and returns the band this
-  /// snapshot must be judged against —
+  /// Bands snapshot j must be judged against, from the committed envelope
+  /// as of the last accepted round —
   ///   half-width = spread_band_factor · max(envelope,
-  ///                                         spread_floor_rel · |mean|).
+  ///                                         spread_floor_rel · |mean|)
+  /// — while this snapshot's own spread is staged for commit_round().
   [[nodiscard]] Bands calibrate(const double* energies,
                                 const double* enstrophies, index_t k);
+
+  /// The round was accepted: fold the staged spread maxima into the
+  /// committed envelope.
+  void commit_round();
+
+  /// The round tripped and its windows were discarded: drop the staged
+  /// spread so the rejected divergence cannot widen future bands.
+  void discard_round();
 
   [[nodiscard]] double energy_spread_envelope() const { return env_energy_; }
   [[nodiscard]] double enstrophy_spread_envelope() const {
@@ -90,8 +117,11 @@ class SpreadCalibrator {
 
  private:
   GuardConfig config_;
-  double env_energy_ = 0.0;
+  double env_energy_ = 0.0;      ///< committed: accepted rounds + seed
   double env_enstrophy_ = 0.0;
+  double staged_energy_ = 0.0;   ///< this round, pending commit/discard
+  double staged_enstrophy_ = 0.0;
+  bool seeded_ = false;
 };
 
 }  // namespace turb::core

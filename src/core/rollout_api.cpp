@@ -70,11 +70,20 @@ void RolloutStream::append_window(std::vector<FieldSnapshot>&& snaps,
 
 void RolloutStream::accept_primary_window(
     std::vector<FieldSnapshot>&& snaps) {
+  std::vector<SnapshotMetrics> metrics = compute_metrics(snaps);
+  accept_primary_window(std::move(snaps), std::move(metrics));
+}
+
+void RolloutStream::accept_primary_window(
+    std::vector<FieldSnapshot>&& snaps,
+    std::vector<SnapshotMetrics>&& metrics) {
   TURB_CHECK_MSG(!degraded(), "primary window fed to a degraded stream");
   TURB_CHECK_MSG(static_cast<index_t>(snaps.size()) == next_window(),
                  "window holds " << snaps.size() << " snapshots, expected "
                                  << next_window());
-  std::vector<SnapshotMetrics> metrics = compute_metrics(snaps);
+  TURB_CHECK_MSG(metrics.size() == snaps.size(),
+                 "window holds " << snaps.size() << " snapshots but "
+                                 << metrics.size() << " metric rows");
 
   if (request_.guard.enabled) {
     GuardTrip trip = GuardTrip::none;

@@ -94,6 +94,13 @@ class RolloutStream {
   /// either appends the window or discards it and arms the fallback.
   void accept_primary_window(std::vector<FieldSnapshot>&& snaps);
 
+  /// Same, with per-snapshot metrics the caller already computed (one per
+  /// snapshot, from compute_metrics on these exact fields) — the ensemble
+  /// round path judges on member metrics first and must not pay for them
+  /// twice.
+  void accept_primary_window(std::vector<FieldSnapshot>&& snaps,
+                             std::vector<SnapshotMetrics>&& metrics);
+
   /// Produce one window from the fallback propagator (cool-down / degraded).
   void advance_fallback_window();
 

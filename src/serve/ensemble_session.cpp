@@ -54,8 +54,11 @@ void EnsembleSession::commit_round() {
   }
 
   // Judge the K windows snapshot-by-snapshot. With spread calibration on,
-  // the band for snapshot j is derived from the members' own j-th metrics
-  // before any member is checked against it.
+  // snapshot j is judged against the spread envelope of the rounds already
+  // accepted (check-then-update): its own spread is only staged with the
+  // calibrator and folds into the envelope iff this round is accepted, so a
+  // diverging member cannot widen the band it is judged against, and a
+  // discarded round cannot poison the bands of the rounds after cooldown.
   core::GuardTrip trip = core::GuardTrip::none;
   double value = 0.0;
   std::size_t bad = 0;
@@ -93,7 +96,10 @@ void EnsembleSession::commit_round() {
   if (trip != core::GuardTrip::none) {
     // Discard the whole round and hand every member to the fallback
     // together — one member leaving the consensus poisons the mean, and
-    // lockstep degradation keeps the next staged round aligned.
+    // lockstep degradation keeps the next staged round aligned. The staged
+    // envelope candidates go with it: spread the guard just rejected must
+    // not calibrate the bands future rounds are judged against.
+    calibrator_.discard_round();
     guard_events_.push_back({produced(), staged_[0][bad].t, trip, value});
     for (index_t m = 0; m < k; ++m) {
       member(m).force_degrade(base_.guard.cooldown_snapshots);
@@ -102,6 +108,7 @@ void EnsembleSession::commit_round() {
     obs::counter("serve/ensemble_guard_trips").add();
     obs::counter("robust/guard_trips").add();
   } else {
+    calibrator_.commit_round();
     double energy_mean = 0.0, energy_spread = 0.0;
     std::vector<double> energies(static_cast<std::size_t>(k));
     for (index_t m = 0; m < k; ++m) {
@@ -115,8 +122,12 @@ void EnsembleSession::commit_round() {
     obs::gauge("serve/ensemble_energy_rel_spread")
         .set(last_energy_rel_spread_);
     for (index_t m = 0; m < k; ++m) {
+      // Hand over the metrics judged above — the member stream must not
+      // recompute (spectral diagnostics included) what the round already
+      // paid for.
       member(m).accept_primary_window(
-          std::move(staged_[static_cast<std::size_t>(m)]));
+          std::move(staged_[static_cast<std::size_t>(m)]),
+          std::move(metrics[static_cast<std::size_t>(m)]));
       staged_[static_cast<std::size_t>(m)].clear();
     }
   }

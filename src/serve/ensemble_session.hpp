@@ -17,11 +17,13 @@
 //     judges the K windows *together* before any member's trajectory moves.
 //   * Spread-calibrated guarding — with GuardConfig::spread_calibrated, the
 //     group guard's energy/enstrophy bands are re-derived per snapshot from
-//     the rolling across-member spread envelope (core::SpreadCalibrator); a
-//     trip means a member left the ensemble consensus. On a trip the whole
-//     round is discarded and every member degrades to the fallback together
-//     (cool-down or for good), keeping the members in lockstep — the
-//     precondition for the next staged round to line up again.
+//     the across-member spread envelope of the rounds accepted so far
+//     (core::SpreadCalibrator, check-then-update); a trip means a member
+//     left the ensemble consensus. On a trip the whole round is discarded —
+//     its staged envelope contribution included — and every member degrades
+//     to the fallback together (cool-down or for good), keeping the members
+//     in lockstep — the precondition for the next staged round to line up
+//     again.
 //   * Reduction — take_result() reduces the finished members into one mean
 //     prediction with per-snapshot variance / relative spread
 //     (core::reduce_ensemble_members), optionally keeping the member results.

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "analysis/stats.hpp"
+#include "core/ensemble.hpp"
 #include "core/fault_injection.hpp"
 #include "core/fno_propagator.hpp"
 #include "core/hybrid.hpp"
@@ -25,6 +26,7 @@
 #include "lbm/initializer.hpp"
 #include "ns/solver.hpp"
 #include "obs/obs.hpp"
+#include "serve/ensemble_session.hpp"
 #include "serve/server.hpp"
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
@@ -740,6 +742,138 @@ TEST_F(EnsembleServeFixture, ZeroWidthCalibratedBandDegradesWholeGroup) {
   // PDE member rollouts, never a mix of FNO and PDE members.
   for (const std::string& producer : served.producer) {
     EXPECT_EQ(producer, "pde_fallback");
+  }
+}
+
+TEST(SpreadCalibrator, JudgesAgainstPreRoundEnvelopeCommitsOnAcceptOnly) {
+  core::GuardConfig config;
+  config.spread_calibrated = true;  // defaults: factor 8, floor 1e-4
+  core::SpreadCalibrator cal(config);
+
+  // Snapshot 0 seeds the envelope with the members' baseline variability
+  // (K = 2: anchored spread is half the member gap).
+  const double e_base[] = {1.0, 1.01};
+  const double z_base[] = {2.0, 2.02};
+  (void)cal.calibrate(e_base, z_base, 2);
+  cal.commit_round();
+  EXPECT_NEAR(cal.energy_spread_envelope(), 0.005, 1e-12);
+
+  // A member leaving consensus by 100× the calibrated spread must fall
+  // outside the bands of the very round it diverges in: check-then-update
+  // keeps its own spread staged, so the half-width is still 8 × 0.005. (If
+  // the current spread calibrated its own band, the max member deviation —
+  // bounded by spread·√(K−1) — could never exceed 8·spread and the
+  // consensus guard could never trip.)
+  const double e_div[] = {1.0, 2.0};  // spread 0.5
+  const core::SpreadCalibrator::Bands bands =
+      cal.calibrate(e_div, z_base, 2);
+  EXPECT_NEAR(bands.energy_halfwidth, 8.0 * 0.005, 1e-12);
+  EXPECT_GT(e_div[1], bands.energy_max);  // diverging member outside…
+  EXPECT_LT(e_div[0], bands.energy_min);  // …and it dragged the mean off 0
+
+  // Discarding the tripped round leaves the envelope untouched, so an
+  // equal-magnitude divergence after cooldown still trips — a rejected
+  // round must not calibrate the bands that judge the rounds after it.
+  cal.discard_round();
+  EXPECT_NEAR(cal.energy_spread_envelope(), 0.005, 1e-12);
+  const core::SpreadCalibrator::Bands again =
+      cal.calibrate(e_div, z_base, 2);
+  EXPECT_EQ(again.energy_max, bands.energy_max);
+  EXPECT_GT(e_div[1], again.energy_max);
+  cal.discard_round();
+
+  // Accepted rounds do widen the monotone envelope.
+  const double e_wider[] = {1.0, 1.02};
+  (void)cal.calibrate(e_wider, z_base, 2);
+  cal.commit_round();
+  EXPECT_NEAR(cal.energy_spread_envelope(), 0.01, 1e-12);
+}
+
+// Holds the flow steady: each produced snapshot repeats the latest history
+// entry (advancing t) — a neutral stand-in for primary and fallback so the
+// test controls member divergence purely through what it stages.
+class HoldPropagator final : public core::Propagator {
+ public:
+  explicit HoldPropagator(std::string name) : name_(std::move(name)) {}
+
+  std::vector<core::FieldSnapshot> advance(const core::History& history,
+                                           index_t count) override {
+    std::vector<core::FieldSnapshot> out;
+    core::FieldSnapshot last = history.back();
+    for (index_t i = 0; i < count; ++i) {
+      last.t += kDtSnap;
+      out.push_back(last);
+    }
+    return out;
+  }
+  [[nodiscard]] double dt_snap() const override { return kDtSnap; }
+  [[nodiscard]] index_t min_history() const override { return 1; }
+  [[nodiscard]] std::string name() const override { return name_; }
+
+ private:
+  std::string name_;
+};
+
+TEST_F(EnsembleServeFixture, DivergingMemberTripsAtDefaultBandFactor) {
+  // A member that genuinely leaves the ensemble consensus must trip the
+  // spread-calibrated guard at the DEFAULT spread_band_factor (8), not only
+  // at a hand-shrunk band — and must trip AGAIN at the same magnitude after
+  // the cooldown, because the discarded round's spread never calibrates the
+  // envelope. Both members run a hold-steady propagator; divergence is
+  // injected by scaling member 1's staged window in rounds 2 and 3.
+  const index_t steps = 16;
+  core::RolloutRequest request = ensemble_request(653, steps, /*k=*/2, 1e-2);
+  request.window = 4;
+  request.guard.enabled = true;
+  request.guard.spread_calibrated = true;  // defaults: factor 8, floor 1e-4
+  request.guard.cooldown_snapshots = 4;
+
+  HoldPropagator surrogate("surrogate");
+  HoldPropagator stable("stable");
+  serve::EnsembleSession session(std::move(request), &surrogate, &stable);
+
+  const std::int64_t trips_before =
+      obs::counter("serve/ensemble_guard_trips").value();
+  index_t round = 0;
+  while (!session.done()) {
+    if (session.degraded()) {
+      for (index_t m = 0; m < session.members(); ++m) {
+        session.member(m).advance_fallback_window();
+      }
+      continue;
+    }
+    for (index_t m = 0; m < session.members(); ++m) {
+      std::vector<core::FieldSnapshot> window = surrogate.advance(
+          session.member(m).history(), session.member(m).next_window());
+      if (m == 1 && (round == 1 || round == 2)) {
+        // Member 1 leaves the consensus: doubled velocities quadruple its
+        // energy while member 0 holds, dwarfing the seed-perturbation
+        // spread the envelope was calibrated on.
+        for (core::FieldSnapshot& snap : window) {
+          for (index_t j = 0; j < snap.u1.size(); ++j) snap.u1[j] *= 2.0;
+          for (index_t j = 0; j < snap.u2.size(); ++j) snap.u2[j] *= 2.0;
+        }
+      }
+      session.stage_window(m, std::move(window));
+    }
+    session.commit_round();
+    ++round;
+  }
+
+  // Rounds: 0 consistent (accepted, calibrates), 1 divergent (trip +
+  // 4-snapshot cooldown), 2 divergent again (the regression: with the
+  // tripped round folded into the envelope, an equal-magnitude divergence
+  // could never re-trip), 3 consistent (accepted).
+  const core::RolloutResult served = session.take_result();
+  EXPECT_EQ(served.guard_trips(), 2);
+  EXPECT_EQ(obs::counter("serve/ensemble_guard_trips").value(),
+            trips_before + 2);
+  ASSERT_EQ(served.trajectory.size(), static_cast<std::size_t>(steps));
+  EXPECT_TRUE(all_finite(served));
+  for (std::size_t s = 0; s < served.producer.size(); ++s) {
+    EXPECT_EQ(served.producer[s],
+              s < 4 || s >= 12 ? "surrogate" : "stable_fallback")
+        << "snapshot " << s;
   }
 }
 

@@ -271,6 +271,23 @@ TEST(Cli, RejectsNonNumeric) {
   EXPECT_THROW(static_cast<void>(args.get_int("n", 0)), CheckError);
 }
 
+TEST(Cli, ServeEnsembleKValidatesAtFlagApplyTime) {
+  // Misconfiguration must fail where the flag is applied, not later as
+  // per-request admission rejections in whatever driver read the options.
+  const char* zero[] = {"prog", "--serve-ensemble-k", "0"};
+  EXPECT_THROW(apply_runtime_flags(CliArgs(3, zero)), CheckError);
+  const char* negative[] = {"prog", "--serve-ensemble-k=-4"};
+  EXPECT_THROW(apply_runtime_flags(CliArgs(2, negative)), CheckError);
+
+  const char* four[] = {"prog", "--serve-ensemble-k", "4"};
+  apply_runtime_flags(CliArgs(3, four));
+  EXPECT_EQ(serve_runtime_options().ensemble_k, 4);
+  // Restore the process-wide default for the rest of the suite.
+  const char* one[] = {"prog", "--serve-ensemble-k", "1"};
+  apply_runtime_flags(CliArgs(3, one));
+  EXPECT_EQ(serve_runtime_options().ensemble_k, 1);
+}
+
 TEST(Table, CsvRoundTrip) {
   SeriesTable t("demo");
   t.set_columns({"t", "value"});
